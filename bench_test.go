@@ -1,0 +1,291 @@
+package dbpl_test
+
+// One testing.B benchmark per measured experiment of EXPERIMENTS.md.
+// `go test -bench=. -benchmem` regenerates the performance side of every
+// claim; cmd/dbplbench prints the full tables with derived columns.
+
+import (
+	"fmt"
+	"testing"
+
+	dbpl "repro"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/horn"
+	"repro/internal/optimizer"
+	"repro/internal/prolog"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// BenchmarkE2AheadN measures fixpoint convergence (section 3.1) per shape
+// and strategy.
+func BenchmarkE2AheadN(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		for _, mode := range []core.Mode{core.Naive, core.SemiNaive} {
+			b.Run(fmt.Sprintf("chain=%d/%s", n, mode), func(b *testing.B) {
+				en, inT, _, err := experiments.AheadEngine(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base := workload.EdgesToRelation(inT, workload.Chain(n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := en.Apply("ahead", base, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE3MutualRecursion measures the joint ahead/above fixpoint over
+// generated CAD scenes (section 3.1).
+func BenchmarkE3MutualRecursion(b *testing.B) {
+	db := dbpl.New()
+	if _, err := db.Exec(experiments.CADModule); err != nil {
+		b.Fatal(err)
+	}
+	for _, sz := range [][2]int{{2, 16}, {4, 32}} {
+		scene := workload.NewCADScene(sz[0], sz[1], 3, 1985)
+		b.Run(fmt.Sprintf("lanes=%d/len=%d", sz[0], sz[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Apply("ahead", scene.Infront, scene.Ontop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Strange measures the bounded non-monotonic iteration of the
+// section 3.3 strange constructor.
+func BenchmarkE4Strange(b *testing.B) {
+	const src = `
+MODULE m;
+TYPE cardrel = RELATION OF RECORD number: CARDINAL END;
+CONSTRUCTOR strange FOR Baserel: cardrel (): cardrel;
+BEGIN
+  EACH r IN Baserel: NOT SOME s IN Baserel{strange} (r.number = s.number + 1)
+END strange;
+END m.
+`
+	db := dbpl.New()
+	db.Strict = false
+	if _, err := db.Exec(src); err != nil {
+		b.Fatal(err)
+	}
+	cardT := schema.RelationType{Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "number", Type: schema.IntType()}}}}
+	var tups []value.Tuple
+	for i := int64(0); i <= 32; i++ {
+		tups = append(tups, value.NewTuple(value.Int(i)))
+	}
+	base := relation.MustFromTuples(cardT, tups...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Apply("strange", base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Translation measures the constructor -> Horn translation and
+// the reverse Datalog -> constructor path (section 3.4).
+func BenchmarkE5Translation(b *testing.B) {
+	chk, err := experiments.Checked()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inT := chk.RelTypes["infrontrel"]
+	b.Run("from-application", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := horn.FromApplication(chk.Constructors, "ahead",
+				horn.RelPred{Pred: "infront", Elem: inT.Element}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tr, _ := horn.FromApplication(chk.Constructors, "ahead",
+		horn.RelPred{Pred: "infront", Elem: inT.Element}, nil)
+	prog := prolog.NewProgram(tr.Rules...)
+	b.Run("to-constructors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := horn.ToConstructors(prog, schema.StringType()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6SetVsProof is the headline comparison (sections 1 and 3.4):
+// set-oriented fixpoint construction vs proof-oriented resolution.
+func BenchmarkE6SetVsProof(b *testing.B) {
+	chk, err := experiments.Checked()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inT := chk.RelTypes["infrontrel"]
+	tr, err := horn.FromApplication(chk.Constructors, "ahead",
+		horn.RelPred{Pred: "infront", Elem: inT.Element}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, wl := range []struct {
+		name  string
+		edges []workload.Edge
+	}{
+		{"chain-32", workload.Chain(32)},
+		{"grid-4x4", workload.Grid(4, 4)},
+		{"dag-4x8x2", workload.RandomDAG(4, 8, 2, 11)},
+	} {
+		base := workload.EdgesToRelation(inT, wl.edges)
+		b.Run(wl.name+"/semi-naive", func(b *testing.B) {
+			en, _, _, _ := experiments.AheadEngine(core.SemiNaive)
+			for i := 0; i < b.N; i++ {
+				if _, err := en.Apply("ahead", base, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(wl.name+"/naive", func(b *testing.B) {
+			en, _, _, _ := experiments.AheadEngine(core.Naive)
+			for i := 0; i < b.N; i++ {
+				if _, err := en.Apply("ahead", base, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		prog := prolog.NewProgram(tr.Rules...)
+		for _, f := range horn.FactsFromRelation("infront", base) {
+			prog.Add(f)
+		}
+		goal := prolog.NewAtom(tr.GoalPred, prolog.V(0), prolog.V(1))
+		b.Run(wl.name+"/tabled-sld", func(b *testing.B) {
+			pe := prolog.NewEngine(prog)
+			for i := 0; i < b.N; i++ {
+				if _, err := pe.SolveTabled(goal); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(wl.name+"/pure-sld", func(b *testing.B) {
+			pe := prolog.NewEngine(prog)
+			for i := 0; i < b.N; i++ {
+				if _, err := pe.Solve(goal); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Propagation measures full-LFP-plus-filter vs magic-restricted
+// evaluation for a bound-head query (section 4).
+func BenchmarkE7Propagation(b *testing.B) {
+	chk, err := experiments.Checked()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inT := chk.RelTypes["infrontrel"]
+	tr, err := horn.FromApplication(chk.Constructors, "ahead",
+		horn.RelPred{Pred: "infront", Elem: inT.Element}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := workload.Chain(256)
+	base := workload.EdgesToRelation(inT, edges)
+	src := value.Str(workload.NodeName(240))
+
+	b.Run("full-then-filter", func(b *testing.B) {
+		en, _, _, _ := experiments.AheadEngine(core.SemiNaive)
+		for i := 0; i < b.N; i++ {
+			full, err := en.Apply("ahead", base, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = full.Select(func(t value.Tuple) bool { return t[0] == src })
+		}
+	})
+	b.Run("magic-restricted", func(b *testing.B) {
+		prog := prolog.NewProgram(tr.Rules...)
+		goal := prolog.NewAtom(tr.GoalPred, prolog.C(src), prolog.V(0))
+		for i := 0; i < b.N; i++ {
+			magic, err := optimizer.MagicTransform(prog, goal)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bundle, err := horn.ToConstructors(magic.Program, schema.StringType())
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := core.NewRegistry()
+			for _, p := range bundle.IDB {
+				if _, err := reg.Register(bundle.Decls[p], bundle.RelTypes[p]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			en := core.NewEngine(reg, eval.NewEnv())
+			var args []eval.Resolved
+			for _, e := range bundle.EDB {
+				if e == "infront" {
+					args = append(args, eval.Resolved{Rel: horn.RetypeRelation(bundle.RelTypes[e], base)})
+				} else {
+					args = append(args, eval.Resolved{Rel: relation.New(bundle.RelTypes[e])})
+				}
+			}
+			for _, q := range bundle.IDB {
+				args = append(args, eval.Resolved{Rel: relation.New(bundle.RelTypes[q])})
+			}
+			seed := relation.New(bundle.RelTypes[magic.Goal.Pred])
+			if _, err := en.Apply(horn.ConstructorName(magic.Goal.Pred), seed, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8QuantGraph measures graph construction and analysis (Fig 3).
+func BenchmarkE8QuantGraph(b *testing.B) {
+	db := dbpl.New()
+	if _, err := db.Exec(experiments.CADModule); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if db.QuantGraphASCII() == "" {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkE1GuardedAssignment measures selector-guarded assignment (Fig 1).
+func BenchmarkE1GuardedAssignment(b *testing.B) {
+	db := dbpl.New()
+	if _, err := db.Exec(experiments.CADModule); err != nil {
+		b.Fatal(err)
+	}
+	scene := workload.NewCADScene(4, 64, 2, 3)
+	if err := db.Assign("Objects", scene.Objects); err != nil {
+		b.Fatal(err)
+	}
+	// Re-assign Infront through refint each iteration.
+	src := scene.Infront.String() // not used; keep relation live
+	_ = src
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(`
+MODULE g;
+Infront[refint] := {EACH r IN Infront: TRUE};
+END g.
+`); err != nil {
+			// First iteration: Infront empty is fine; real content below.
+			b.Fatal(err)
+		}
+	}
+}

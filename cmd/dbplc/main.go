@@ -1,0 +1,74 @@
+// dbplc compiles and runs DBPL modules: it parses, type-checks (including
+// the positivity analysis of section 3.3), reports the compilation plan of
+// section 4 (component partition, recursion analysis, per-statement
+// strategy), and executes the module's statements.
+//
+// Usage:
+//
+//	dbplc file.dbpl            # compile and run
+//	dbplc -check file.dbpl     # compile only, report the analysis
+//	dbplc -graph file.dbpl     # print the augmented quant graph (DOT)
+//	dbplc -lax file.dbpl       # admit non-positive constructors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compile"
+	"repro/internal/store"
+)
+
+func main() {
+	checkOnly := flag.Bool("check", false, "compile only; print the analysis")
+	graph := flag.Bool("graph", false, "print the augmented quant graph in DOT")
+	lax := flag.Bool("lax", false, "admit non-positive constructors (section 3.3 escape hatch)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] file.dbpl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog, err := compile.Compile(string(src), compile.Options{Strict: !*lax})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+
+	if *graph {
+		fmt.Print(prog.Graph.DOT())
+		return
+	}
+
+	if *checkOnly {
+		fmt.Printf("module %s: OK\n", prog.Module.Name)
+		for name, rep := range prog.Positivity {
+			fmt.Printf("  constructor %-12s positive=%v occurrences=%d\n",
+				name, rep.Positive(), len(rep.Occurrences))
+		}
+		fmt.Printf("  components: %v\n", prog.Components)
+		fmt.Printf("  recursive:  %v\n", prog.Recursive)
+		for i, plan := range prog.Plans {
+			fmt.Printf("  stmt %d: strategy=%s constructors=%v\n",
+				i+1, plan.Strategy, plan.Constructors)
+		}
+		return
+	}
+
+	rt, err := compile.NewRuntime(prog, store.NewDatabase(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rt.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// quantgraph renders the augmented quant graph (Fig 3 of the paper) of a
+// DBPL module's constructors, in ASCII (default) or Graphviz DOT.
+//
+// Usage:
+//
+//	quantgraph file.dbpl
+//	quantgraph -dot file.dbpl | dot -Tpng > graph.png
+//
+// With no argument it renders the paper's own Fig 3 example (the ahead
+// constructor of section 3.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/parser"
+	"repro/internal/quantgraph"
+)
+
+const fig3 = `
+MODULE fig3;
+TYPE parttype   = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+TYPE aheadrel   = RELATION OF RECORD head, tail: parttype END;
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+END ahead;
+END fig3.
+`
+
+func main() {
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+	flag.Parse()
+
+	src := fig3
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Type-check for better errors, but build the graph from the AST so
+	// even partial programs render.
+	if _, err := compile.CompileModule(m, compile.Options{Strict: false}); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+	}
+	var decls []*ast.ConstructorDecl
+	for _, d := range m.Decls {
+		if cd, ok := d.(*ast.ConstructorDecl); ok {
+			decls = append(decls, cd)
+		}
+	}
+	g := quantgraph.Build(decls)
+	if *dot {
+		fmt.Print(g.DOT())
+	} else {
+		fmt.Print(g.ASCII())
+	}
+}

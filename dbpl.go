@@ -1,0 +1,297 @@
+// Package dbpl is a Go reproduction of the database programming language
+// extension proposed in M. Jarke, V. Linnemann, J. W. Schmidt, "Data
+// Constructors: On the Integration of Rules and Relations" (VLDB 1985).
+//
+// The package implements the paper's DBPL subset: typed relations with key
+// constraints, tuple relational calculus expressions, selectors (predicative
+// sub-relation views, section 2.3), and — the paper's contribution —
+// constructors: recursively defined derived relations with least-fixpoint
+// semantics (section 3), guarded by the positivity constraint (section 3.3),
+// compiled through the three-level framework of section 4, and evaluated
+// set-orientedly (naive or semi-naive) instead of by tuple-at-a-time proof
+// search.
+//
+// # Quick start
+//
+//	db := dbpl.New()
+//	out, err := db.Exec(`
+//	  MODULE cad;
+//	  TYPE parttype   = STRING;
+//	  TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+//	  TYPE aheadrel   = RELATION OF RECORD head, tail: parttype END;
+//	  VAR Infront: infrontrel;
+//
+//	  CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+//	  BEGIN
+//	    EACH r IN Rel: TRUE,
+//	    <f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+//	  END ahead;
+//
+//	  Infront := {<"vase","table">, <"table","chair">};
+//	  SHOW Infront{ahead};
+//	  END cad.`)
+//
+// Queries against the accumulated state use Query:
+//
+//	rel, err := db.Query(`Infront{ahead}`)
+package dbpl
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/typecheck"
+	"repro/internal/value"
+)
+
+// Re-exported data types, so downstream code does not need the internal
+// packages.
+type (
+	// Relation is a typed, keyed set of tuples.
+	Relation = relation.Relation
+	// Tuple is one relation element.
+	Tuple = value.Tuple
+	// Value is a scalar runtime value.
+	Value = value.Value
+	// RelationType describes a relation's element type and key.
+	RelationType = schema.RelationType
+	// RecordType describes a tuple layout.
+	RecordType = schema.RecordType
+	// Attribute is a named, typed record field.
+	Attribute = schema.Attribute
+	// ScalarType is an attribute domain.
+	ScalarType = schema.ScalarType
+	// Stats reports the work done by the last constructor evaluation.
+	Stats = core.Stats
+)
+
+// Scalar constructors and types, re-exported.
+var (
+	// Str builds a string value.
+	Str = value.Str
+	// Int builds an integer value.
+	Int = value.Int
+	// Bool builds a boolean value.
+	Bool = value.Bool
+	// StringType is the STRING attribute domain.
+	StringType = schema.StringType
+	// IntType is the INTEGER attribute domain.
+	IntType = schema.IntType
+)
+
+// NewTuple builds a tuple.
+func NewTuple(vs ...Value) Tuple { return value.NewTuple(vs...) }
+
+// Mode selects the fixpoint strategy for constructor evaluation.
+type Mode = core.Mode
+
+// Fixpoint strategies.
+const (
+	// SemiNaive evaluates constructors differentially (default).
+	SemiNaive = core.SemiNaive
+	// Naive evaluates with the paper's REPEAT ... UNTIL loop.
+	Naive = core.Naive
+)
+
+// DB is a DBPL database: relation variables plus the accumulated type,
+// selector, and constructor declarations of every executed module.
+type DB struct {
+	Store    *store.Database
+	Checker  *typecheck.Checker
+	Registry *core.Registry
+	Engine   *core.Engine
+	env      *eval.Env
+	// Strict enforces the positivity constraint (section 3.3) on
+	// constructor declarations; it is on by default, as in the paper's
+	// compiler. Changing it affects subsequently executed modules.
+	Strict bool
+	// LastProgram is the most recently compiled program (plans, quant
+	// graph, positivity reports).
+	LastProgram *compile.Program
+}
+
+// New returns an empty database with strict positivity checking.
+func New() *DB {
+	env := eval.NewEnv()
+	reg := core.NewRegistry()
+	chk := typecheck.New()
+	d := &DB{
+		Store:    store.NewDatabase(),
+		Checker:  chk,
+		Registry: reg,
+		env:      env,
+		Strict:   true,
+	}
+	d.Engine = core.NewEngine(reg, env)
+	return d
+}
+
+// SetMode selects the fixpoint strategy for constructor evaluation.
+func (d *DB) SetMode(m Mode) { d.Engine.Mode = m }
+
+// LastStats reports the most recent constructor evaluation.
+func (d *DB) LastStats() Stats { return d.Engine.LastStats }
+
+// Exec compiles and runs a DBPL module against the database, accumulating
+// its declarations. It returns the output of SHOW statements.
+func (d *DB) Exec(src string) (string, error) {
+	var buf bytes.Buffer
+	if err := d.ExecTo(&buf, src); err != nil {
+		return buf.String(), err
+	}
+	return buf.String(), nil
+}
+
+// ExecTo is Exec with streaming output.
+func (d *DB) ExecTo(out io.Writer, src string) error {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return err
+	}
+	d.Checker.Strict = d.Strict
+	d.Registry.Strict = d.Strict
+	p, err := compile.CompileModuleInto(m, d.Checker, d.Registry, compile.Options{Strict: d.Strict})
+	if err != nil {
+		return err
+	}
+	d.LastProgram = p
+	rt, err := compile.NewRuntime(p, d.Store, out)
+	if err != nil {
+		return err
+	}
+	// Share the accumulated environment so selectors and variables from
+	// earlier modules stay visible.
+	d.mergeEnv(rt.Env)
+	rt.Env = d.env
+	rt.Engine = d.Engine
+	return rt.Run()
+}
+
+// mergeEnv folds a freshly built runtime environment into the accumulated
+// one.
+func (d *DB) mergeEnv(src *eval.Env) {
+	for k, v := range src.Selectors {
+		d.env.Selectors[k] = v
+	}
+	for k, v := range src.RelTypes {
+		d.env.RelTypes[k] = v
+	}
+}
+
+// Query evaluates a range expression (e.g. `Infront[hidden_by("table")]{ahead}`)
+// against the current state.
+func (d *DB) Query(src string) (*Relation, error) {
+	r, err := parser.ParseRange(src)
+	if err != nil {
+		return nil, err
+	}
+	d.refreshEnv()
+	return d.env.Range(r)
+}
+
+// QuerySet evaluates a full set expression (e.g. `{EACH r IN Infront: TRUE}`).
+func (d *DB) QuerySet(src string) (*Relation, error) {
+	s, err := parser.ParseSetExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	d.refreshEnv()
+	return d.env.SetExpr(s, nil)
+}
+
+func (d *DB) refreshEnv() {
+	for _, name := range d.Store.Names() {
+		if r, ok := d.Store.Get(name); ok {
+			d.env.Rels[name] = r
+		}
+	}
+	d.env.ResetMemo()
+}
+
+// Declare introduces a relation variable programmatically.
+func (d *DB) Declare(name string, typ RelationType) error {
+	if err := d.Store.Declare(name, typ); err != nil {
+		return err
+	}
+	d.Checker.Vars[name] = typ
+	return nil
+}
+
+// Insert adds tuples to a relation variable under its key constraint.
+func (d *DB) Insert(name string, tuples ...Tuple) error {
+	return d.Store.Insert(name, tuples...)
+}
+
+// Relation returns the current value of a relation variable.
+func (d *DB) Relation(name string) (*Relation, bool) { return d.Store.Get(name) }
+
+// Assign replaces a relation variable's value (key-checked).
+func (d *DB) Assign(name string, rel *Relation) error { return d.Store.Assign(name, rel) }
+
+// Apply evaluates a constructor application on an explicit base relation,
+// with relation- or scalar-valued arguments.
+func (d *DB) Apply(constructor string, base *Relation, args ...any) (*Relation, error) {
+	resolved := make([]eval.Resolved, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case *Relation:
+			resolved[i] = eval.Resolved{Rel: v}
+		case Value:
+			resolved[i] = eval.Resolved{Scalar: v, IsScalar: true}
+		case string:
+			resolved[i] = eval.Resolved{Scalar: Str(v), IsScalar: true}
+		case int:
+			resolved[i] = eval.Resolved{Scalar: Int(int64(v)), IsScalar: true}
+		case int64:
+			resolved[i] = eval.Resolved{Scalar: Int(v), IsScalar: true}
+		default:
+			return nil, fmt.Errorf("dbpl: unsupported argument type %T", a)
+		}
+	}
+	d.refreshEnv()
+	return d.Engine.Apply(constructor, base, resolved)
+}
+
+// Save writes the database's relation variables to w (binary format).
+func (d *DB) Save(w io.Writer) error { return d.Store.Save(w) }
+
+// LoadStore replaces the database's relation variables with those read from
+// r (declarations executed via Exec are kept).
+func (d *DB) LoadStore(r io.Reader) error {
+	db, err := store.Load(r)
+	if err != nil {
+		return err
+	}
+	d.Store = db
+	for _, name := range db.Names() {
+		if t, ok := db.Type(name); ok {
+			d.Checker.Vars[name] = t
+		}
+	}
+	return nil
+}
+
+// QuantGraphDOT renders the augmented quant graph of the last executed
+// module in Graphviz syntax (Fig 3 of the paper).
+func (d *DB) QuantGraphDOT() string {
+	if d.LastProgram == nil || d.LastProgram.Graph == nil {
+		return ""
+	}
+	return d.LastProgram.Graph.DOT()
+}
+
+// QuantGraphASCII renders the augmented quant graph as text.
+func (d *DB) QuantGraphASCII() string {
+	if d.LastProgram == nil || d.LastProgram.Graph == nil {
+		return ""
+	}
+	return d.LastProgram.Graph.ASCII()
+}

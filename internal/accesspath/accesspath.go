@@ -1,0 +1,171 @@
+// Package accesspath implements the access-path machinery of section 4 of
+// the paper for parameterized selectors:
+//
+//	"A logical access path is a compiled procedure with dummy constants
+//	 [HeNa 84]. A physical access path actually materializes a relation
+//	 corresponding to the query with the constants used as variables, and
+//	 partitions it according to the different constant values."
+//
+// A Logical path wraps a selector declaration into a closure instantiated
+// per constant. A Physical path pre-partitions the base relation by the
+// parameterized attribute so that each instantiation is a hash lookup; it is
+// maintained incrementally under insertions and deletions (the maintenance
+// concern the paper attributes to [ShTZ 84]).
+package accesspath
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Logical is a compiled selector procedure with a dummy constant: calling
+// Instantiate binds the parameter and filters the base relation.
+type Logical struct {
+	Decl  *ast.SelectorDecl
+	Elem  schema.RecordType
+	Param string
+	env   *eval.Env
+}
+
+// NewLogical compiles a single-scalar-parameter selector into a logical
+// access path over the given environment (for globals its body references).
+func NewLogical(env *eval.Env, decl *ast.SelectorDecl, elem schema.RecordType) (*Logical, error) {
+	if len(decl.Params) != 1 {
+		return nil, fmt.Errorf("accesspath: selector %q must have exactly one parameter", decl.Name)
+	}
+	return &Logical{Decl: decl, Elem: elem, Param: decl.Params[0].Name, env: env}, nil
+}
+
+// Instantiate evaluates the selector over base with the parameter bound.
+func (l *Logical) Instantiate(base *relation.Relation, arg value.Value) (*relation.Relation, error) {
+	scoped := l.env.Clone()
+	scoped.Scalars[l.Param] = arg
+	out := relation.New(base.Type())
+	var iterErr error
+	base.Each(func(t value.Tuple) bool {
+		ok, err := scoped.EvalPredWithTuple(l.Decl.Where, l.Decl.BodyVar, l.Elem, t)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if ok {
+			out.Add(t)
+		}
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return out, nil
+}
+
+// PartitionAttr inspects a selector body for the pattern
+//
+//	EACH r IN Rel: r.attr = Param
+//
+// (possibly as one conjunct of a conjunction) and returns the attribute a
+// physical access path can partition on. ok is false when the body does not
+// expose an indexable equality.
+func PartitionAttr(decl *ast.SelectorDecl) (attr string, ok bool) {
+	if len(decl.Params) != 1 {
+		return "", false
+	}
+	param := decl.Params[0].Name
+	var found string
+	var scan func(p ast.Pred)
+	scan = func(p ast.Pred) {
+		switch q := p.(type) {
+		case ast.And:
+			scan(q.L)
+			scan(q.R)
+		case ast.Cmp:
+			if q.Op != ast.OpEq {
+				return
+			}
+			if f, okF := q.L.(ast.Field); okF {
+				if pr, okP := q.R.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
+					found = f.Attr
+				}
+			}
+			if f, okF := q.R.(ast.Field); okF {
+				if pr, okP := q.L.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
+					found = f.Attr
+				}
+			}
+		}
+	}
+	scan(decl.Where)
+	return found, found != ""
+}
+
+// Physical is a materialized, partitioned access path: the base relation
+// split by the values of one attribute.
+type Physical struct {
+	base       *relation.Relation
+	attrPos    int
+	attrName   string
+	partitions map[value.Value]*relation.Relation
+	// residual is the selector predicate minus the partition equality; nil
+	// means the partition fully implements the selector.
+	residual func(value.Tuple) (bool, error)
+}
+
+// BuildPhysical partitions base by the named attribute.
+func BuildPhysical(base *relation.Relation, attr string) (*Physical, error) {
+	pos := base.Type().Element.IndexOf(attr)
+	if pos < 0 {
+		return nil, fmt.Errorf("accesspath: relation %s has no attribute %q", base.Type().Name, attr)
+	}
+	p := &Physical{
+		base: base, attrPos: pos, attrName: attr,
+		partitions: make(map[value.Value]*relation.Relation),
+	}
+	base.Each(func(t value.Tuple) bool {
+		p.add(t)
+		return true
+	})
+	return p, nil
+}
+
+func (p *Physical) add(t value.Tuple) {
+	k := t[p.attrPos]
+	part, ok := p.partitions[k]
+	if !ok {
+		part = relation.New(p.base.Type())
+		p.partitions[k] = part
+	}
+	part.Add(t)
+}
+
+// Lookup returns the partition for one constant (never nil).
+func (p *Physical) Lookup(v value.Value) *relation.Relation {
+	if part, ok := p.partitions[v]; ok {
+		return part
+	}
+	return relation.New(p.base.Type())
+}
+
+// Insert maintains the path under a base insertion.
+func (p *Physical) Insert(t value.Tuple) { p.add(t) }
+
+// Delete maintains the path under a base deletion; it reports whether the
+// tuple was present.
+func (p *Physical) Delete(t value.Tuple) bool {
+	part, ok := p.partitions[t[p.attrPos]]
+	if !ok {
+		return false
+	}
+	removed := part.Delete(t)
+	if part.IsEmpty() {
+		delete(p.partitions, t[p.attrPos])
+	}
+	return removed
+}
+
+// Partitions returns the number of distinct constants materialized.
+func (p *Physical) Partitions() int { return len(p.partitions) }

@@ -1,0 +1,127 @@
+package accesspath
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+var binT = workload.BinaryStringRelType("infrontrel", "front", "back")
+
+func selector(t *testing.T) *ast.SelectorDecl {
+	t.Helper()
+	m, err := parser.ParseModule(`
+MODULE m;
+SELECTOR hidden_by (Obj: STRING) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+END m.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Decls {
+		if sd, ok := d.(*ast.SelectorDecl); ok {
+			return sd
+		}
+	}
+	t.Fatal("no selector")
+	return nil
+}
+
+func sample() *relation.Relation {
+	r := relation.New(binT)
+	r.Add(value.NewTuple(value.Str("table"), value.Str("chair")))
+	r.Add(value.NewTuple(value.Str("table"), value.Str("door")))
+	r.Add(value.NewTuple(value.Str("vase"), value.Str("table")))
+	return r
+}
+
+func TestLogicalPath(t *testing.T) {
+	decl := selector(t)
+	lp, err := NewLogical(eval.NewEnv(), decl, binT.Element)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lp.Instantiate(sample(), value.Str("table"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("logical path: %s", got)
+	}
+}
+
+func TestPartitionAttrDetection(t *testing.T) {
+	decl := selector(t)
+	attr, ok := PartitionAttr(decl)
+	if !ok || attr != "front" {
+		t.Errorf("PartitionAttr: %q %v", attr, ok)
+	}
+	// Non-indexable body.
+	m, _ := parser.ParseModule(`
+MODULE m;
+SELECTOR odd FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front # r.back END odd;
+END m.
+`)
+	var other *ast.SelectorDecl
+	for _, d := range m.Decls {
+		if sd, ok := d.(*ast.SelectorDecl); ok {
+			other = sd
+		}
+	}
+	if _, ok := PartitionAttr(other); ok {
+		t.Error("parameterless selector must not be partitionable")
+	}
+}
+
+func TestPhysicalPathLookupAndMaintenance(t *testing.T) {
+	base := sample()
+	pp, err := BuildPhysical(base, "front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Partitions() != 2 {
+		t.Errorf("partitions: %d", pp.Partitions())
+	}
+	if got := pp.Lookup(value.Str("table")); got.Len() != 2 {
+		t.Errorf("Lookup(table): %s", got)
+	}
+	if got := pp.Lookup(value.Str("ghost")); got.Len() != 0 {
+		t.Errorf("Lookup(ghost): %s", got)
+	}
+	// Maintenance under insert/delete ([ShTZ 84] concern).
+	pp.Insert(value.NewTuple(value.Str("ghost"), value.Str("wall")))
+	if pp.Lookup(value.Str("ghost")).Len() != 1 || pp.Partitions() != 3 {
+		t.Error("insert maintenance failed")
+	}
+	if !pp.Delete(value.NewTuple(value.Str("ghost"), value.Str("wall"))) {
+		t.Error("delete must report presence")
+	}
+	if pp.Partitions() != 2 {
+		t.Error("empty partitions must be pruned")
+	}
+	// The physical path agrees with the logical path for every constant.
+	decl := selector(t)
+	lp, _ := NewLogical(eval.NewEnv(), decl, binT.Element)
+	for _, c := range []string{"table", "vase", "ghost"} {
+		want, err := lp.Instantiate(base, value.Str(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pp.Lookup(value.Str(c)); !got.Equal(want) {
+			t.Errorf("physical/logical disagree on %q: %s vs %s", c, got, want)
+		}
+	}
+}
+
+func TestBuildPhysicalUnknownAttr(t *testing.T) {
+	if _, err := BuildPhysical(sample(), "nope"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}

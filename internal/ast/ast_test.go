@@ -1,0 +1,127 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// buildAheadBody constructs the ahead body by hand:
+//
+//	EACH r IN Rel: TRUE,
+//	<f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+func buildAheadBody() *SetExpr {
+	return &SetExpr{Branches: []Branch{
+		{
+			Binds: []Binding{{Var: "r", Range: RangeVar("Rel")}},
+			Where: BoolLit{Val: true},
+		},
+		{
+			Target: []Term{Field{Var: "f", Attr: "front"}, Field{Var: "b", Attr: "tail"}},
+			Binds: []Binding{
+				{Var: "f", Range: RangeVar("Rel")},
+				{Var: "b", Range: &Range{Var: "Rel", Suffixes: []Suffix{
+					{Kind: SuffixConstructor, Name: "ahead"}}}},
+			},
+			Where: Cmp{Op: OpEq, L: Field{Var: "f", Attr: "back"}, R: Field{Var: "b", Attr: "head"}},
+		},
+	}}
+}
+
+func TestWalkRangesVisitsEverything(t *testing.T) {
+	body := buildAheadBody()
+	// Add a quantifier and a membership with their own ranges.
+	body.Branches[0].Where = And{
+		L: Quant{All: false, Var: "q", Range: RangeVar("Objects"), Body: BoolLit{Val: true}},
+		R: Member{VarTuple: "r", Range: RangeVar("Hidden")},
+	}
+	var seen []string
+	WalkRanges(body, func(r *Range) { seen = append(seen, r.Var) })
+	joined := strings.Join(seen, ",")
+	for _, want := range []string{"Rel", "Objects", "Hidden"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("WalkRanges missed %q: %v", want, seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected 5 ranges, saw %d: %v", len(seen), seen)
+	}
+}
+
+func TestCopySetExprIndependence(t *testing.T) {
+	orig := buildAheadBody()
+	cp := CopySetExpr(orig)
+	// Mutating the copy must not affect the original.
+	cp.Branches[1].Binds[1].Range.Var = "CHANGED"
+	cp.Branches[1].Target[0] = Field{Var: "zz", Attr: "zz"}
+	if orig.Branches[1].Binds[1].Range.Var != "Rel" {
+		t.Error("copy shares binding ranges with the original")
+	}
+	if orig.Branches[1].Target[0].(Field).Var != "f" {
+		t.Error("copy shares target terms with the original")
+	}
+}
+
+func TestSubstituteRangeVar(t *testing.T) {
+	body := buildAheadBody()
+	// Substitute the formal Rel by the actual Infront[sel].
+	repl := &Range{Var: "Infront", Suffixes: []Suffix{
+		{Kind: SuffixSelector, Name: "sel"}}}
+	SubstituteRangeVar(body, "Rel", repl)
+	// Every former Rel occurrence now starts at Infront with [sel] first.
+	WalkRanges(body, func(r *Range) {
+		if r.Var == "Rel" {
+			t.Errorf("unsubstituted occurrence: %s", r)
+		}
+	})
+	// The recursive occurrence keeps its {ahead} suffix after [sel].
+	rec := body.Branches[1].Binds[1].Range
+	if rec.Var != "Infront" || len(rec.Suffixes) != 2 ||
+		rec.Suffixes[0].Name != "sel" || rec.Suffixes[1].Name != "ahead" {
+		t.Errorf("suffix chain wrong: %s", rec)
+	}
+}
+
+func TestSubstituteScalarParam(t *testing.T) {
+	body := &SetExpr{Branches: []Branch{{
+		Binds: []Binding{{Var: "r", Range: RangeVar("Rel")}},
+		Where: Cmp{Op: OpEq, L: Field{Var: "r", Attr: "front"}, R: Param{Name: "Obj"}},
+	}}}
+	SubstituteScalarParam(body, "Obj", value.Str("table"))
+	cmp := body.Branches[0].Where.(Cmp)
+	c, ok := cmp.R.(Const)
+	if !ok || c.Val != value.Str("table") {
+		t.Errorf("parameter not substituted: %s", cmp)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	body := buildAheadBody()
+	s := body.String()
+	for _, frag := range []string{
+		"EACH r IN Rel: TRUE",
+		"<f.front, b.tail> OF",
+		"Rel{ahead}",
+		"f.back = b.head",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestPredStringForms(t *testing.T) {
+	p := Or{
+		L: Not{P: Member{Terms: []Term{Field{Var: "a", Attr: "x"}}, Range: RangeVar("R")}},
+		R: Quant{All: true, Var: "n", Range: RangeVar("Ints"),
+			Body: Cmp{Op: OpNe, L: Arith{Op: OpMod, L: Field{Var: "p", Attr: "v"}, R: Field{Var: "n", Attr: "v"}},
+				R: Const{Val: value.Int(0)}}},
+	}
+	s := p.String()
+	for _, frag := range []string{"NOT", "<a.x> IN R", "ALL n IN Ints", "MOD", "# 0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("pred rendering missing %q: %s", frag, s)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package compile implements the three-level compilation and optimization
+// framework of section 4 of the paper:
+//
+//   - Type-checking level: static checking of the module, positivity
+//     analysis of every constructor, construction of (a rough version of)
+//     the augmented quant graphs, and partitioning of the constructor
+//     definitions into disconnected components.
+//
+//   - Query compilation level: per statement, instantiation of the
+//     constructor definition graphs, detection of recursive cycles (which
+//     select a fixpoint algorithm), and classification of the evaluation
+//     strategy.
+//
+//   - Runtime level: execution of the compiled statements against a
+//     database of relation variables, with selector guards enforced on
+//     assignment.
+package compile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/positivity"
+	"repro/internal/quantgraph"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/typecheck"
+	"repro/internal/value"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Strict enforces the positivity constraint at compile time, as the
+	// paper's DBPL compiler does. Non-strict compilation admits
+	// non-monotonic constructors, evaluated naively with oscillation
+	// detection (section 3.3's strange example).
+	Strict bool
+}
+
+// Strategy classifies how a statement's constructed ranges are evaluated.
+type Strategy uint8
+
+// Strategies.
+const (
+	// StrategyPlain means no constructor applications occur.
+	StrategyPlain Strategy = iota
+	// StrategyDecompile means constructors occur but none is recursive:
+	// the applications unfold into subqueries over base relations.
+	StrategyDecompile
+	// StrategyFixpoint means a recursive cycle occurs: a least-fixpoint
+	// algorithm is generated (semi-naive by default).
+	StrategyFixpoint
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPlain:
+		return "plain"
+	case StrategyDecompile:
+		return "decompile"
+	default:
+		return "fixpoint"
+	}
+}
+
+// StmtPlan is the query-compilation-level record for one statement.
+type StmtPlan struct {
+	Stmt         ast.Stmt
+	Strategy     Strategy
+	Constructors []string // constructor names applied (transitively)
+}
+
+// Program is a compiled module.
+type Program struct {
+	Module   *ast.Module
+	Checker  *typecheck.Checker
+	Registry *core.Registry
+	Graph    *quantgraph.Graph
+	// Positivity holds the per-constructor analysis from the type-checking
+	// level.
+	Positivity map[string]positivity.Report
+	// Recursive lists constructors on cycles of the augmented graph.
+	Recursive []string
+	// Components partitions constructor names into disconnected subgraphs
+	// (the preliminary partitioning of section 4).
+	Components [][]string
+	// Plans holds the per-statement strategies.
+	Plans []StmtPlan
+}
+
+// Compile parses, checks, and plans a DBPL module.
+func Compile(src string, opts Options) (*Program, error) {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileModule(m, opts)
+}
+
+// CompileModule compiles an already-parsed module with a fresh checker and
+// registry.
+func CompileModule(m *ast.Module, opts Options) (*Program, error) {
+	chk := typecheck.New()
+	reg := core.NewRegistry()
+	return CompileModuleInto(m, chk, reg, opts)
+}
+
+// CompileModuleInto compiles a module into an existing checker and registry,
+// accumulating declarations across modules (the package dbpl façade executes
+// successive modules against one database this way).
+func CompileModuleInto(m *ast.Module, chk *typecheck.Checker, reg *core.Registry, opts Options) (*Program, error) {
+	chk.Strict = opts.Strict
+	if err := chk.CheckModule(m); err != nil {
+		return nil, err
+	}
+
+	p := &Program{
+		Module:     m,
+		Checker:    chk,
+		Registry:   reg,
+		Positivity: make(map[string]positivity.Report),
+	}
+	p.Registry.Strict = opts.Strict
+
+	// Register constructors with the engine registry and record positivity.
+	var decls []*ast.ConstructorDecl
+	for _, d := range m.Decls {
+		cd, ok := d.(*ast.ConstructorDecl)
+		if !ok {
+			continue
+		}
+		decls = append(decls, cd)
+		sig := chk.Constructors[cd.Name]
+		c, err := p.Registry.Register(cd, sig.Result)
+		if err != nil {
+			return nil, err
+		}
+		p.Positivity[cd.Name] = c.Report
+	}
+
+	// Type-checking level: augmented quant graph, partitioning, cycles.
+	p.Graph = quantgraph.Build(decls)
+	p.Recursive = p.Graph.RecursiveConstructors()
+	p.Components = constructorComponents(p.Graph)
+
+	// Query compilation level: classify each statement.
+	recursive := make(map[string]bool, len(p.Recursive))
+	for _, n := range p.Recursive {
+		recursive[n] = true
+	}
+	deps := constructorDeps(decls)
+	for _, s := range m.Stmts {
+		plan := StmtPlan{Stmt: s, Strategy: StrategyPlain}
+		names := stmtConstructors(s, deps)
+		if len(names) > 0 {
+			plan.Strategy = StrategyDecompile
+			for _, n := range names {
+				if recursive[n] {
+					plan.Strategy = StrategyFixpoint
+					break
+				}
+			}
+			plan.Constructors = names
+		}
+		p.Plans = append(p.Plans, plan)
+	}
+	return p, nil
+}
+
+// constructorComponents projects graph components onto constructor names.
+func constructorComponents(g *quantgraph.Graph) [][]string {
+	var out [][]string
+	for _, comp := range g.Components() {
+		var names []string
+		for _, id := range comp {
+			n := g.Nodes[id]
+			if n.Kind == quantgraph.HeadNode {
+				names = append(names, n.Constructor)
+			}
+		}
+		if len(names) > 0 {
+			sort.Strings(names)
+			out = append(out, names)
+		}
+	}
+	return out
+}
+
+// constructorDeps maps each constructor to the constructors its body applies.
+func constructorDeps(decls []*ast.ConstructorDecl) map[string][]string {
+	deps := make(map[string][]string, len(decls))
+	for _, d := range decls {
+		seen := make(map[string]bool)
+		ast.WalkRanges(d.Body, func(r *ast.Range) {
+			for _, s := range r.Suffixes {
+				if s.Kind == ast.SuffixConstructor {
+					seen[s.Name] = true
+				}
+			}
+		})
+		var names []string
+		for n := range seen {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		deps[d.Name] = names
+	}
+	return deps
+}
+
+// stmtConstructors returns all constructor names a statement applies,
+// transitively through constructor bodies.
+func stmtConstructors(s ast.Stmt, deps map[string][]string) []string {
+	seen := make(map[string]bool)
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		for _, d := range deps[name] {
+			visit(d)
+		}
+	}
+	collect := func(r *ast.Range) {
+		for _, suf := range r.Suffixes {
+			if suf.Kind == ast.SuffixConstructor {
+				visit(suf.Name)
+			}
+		}
+	}
+	switch t := s.(type) {
+	case *ast.Show:
+		walkRangeDeep(t.Expr, collect)
+	case *ast.Assign:
+		walkRangeDeep(t.Expr, collect)
+		for i := range t.Suffixes {
+			if t.Suffixes[i].Kind == ast.SuffixConstructor {
+				visit(t.Suffixes[i].Name)
+			}
+		}
+	}
+	var names []string
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func walkRangeDeep(r *ast.Range, fn func(*ast.Range)) {
+	fn(r)
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, fn)
+	}
+	for i := range r.Suffixes {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil {
+				walkRangeDeep(a.Rel, fn)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Runtime level
+// ---------------------------------------------------------------------------
+
+// Runtime executes a compiled program against a database.
+type Runtime struct {
+	Program *Program
+	DB      *store.Database
+	Engine  *core.Engine
+	Env     *eval.Env
+	// Out receives SHOW output; nil discards it.
+	Out io.Writer
+}
+
+// NewRuntime declares the module's variables in the database (if absent) and
+// wires up the evaluation environment and engine.
+func NewRuntime(p *Program, db *store.Database, out io.Writer) (*Runtime, error) {
+	env := eval.NewEnv()
+	for name, sig := range p.Checker.Selectors {
+		env.Selectors[name] = sig.Decl
+	}
+	for name, rt := range p.Checker.RelTypes {
+		env.RelTypes[name] = rt
+	}
+	for name, rt := range p.Checker.Vars {
+		if _, ok := db.Get(name); !ok {
+			if err := db.Declare(name, rt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	en := core.NewEngine(p.Registry, env)
+	rt := &Runtime{Program: p, DB: db, Engine: en, Env: env, Out: out}
+	return rt, nil
+}
+
+// refreshEnv re-binds the environment's relation variables to the database's
+// current values.
+func (rt *Runtime) refreshEnv() {
+	for _, name := range rt.DB.Names() {
+		if r, ok := rt.DB.Get(name); ok {
+			rt.Env.Rels[name] = r
+		}
+	}
+	rt.Env.ResetMemo()
+}
+
+// Run executes all statements in order.
+func (rt *Runtime) Run() error {
+	for i, s := range rt.Program.Module.Stmts {
+		if err := rt.runStmt(s); err != nil {
+			return fmt.Errorf("statement %d (%s): %w", i+1, s, err)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates a range expression against the current database state.
+func (rt *Runtime) Eval(r *ast.Range) (*relation.Relation, error) {
+	rt.refreshEnv()
+	return rt.Env.Range(r)
+}
+
+// EvalQuery parses and evaluates an ad-hoc range expression.
+func (rt *Runtime) EvalQuery(src string) (*relation.Relation, error) {
+	r, err := parser.ParseRange(src)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Eval(r)
+}
+
+func (rt *Runtime) runStmt(s ast.Stmt) error {
+	switch t := s.(type) {
+	case *ast.Show:
+		rel, err := rt.Eval(t.Expr)
+		if err != nil {
+			return err
+		}
+		if rt.Out != nil {
+			fmt.Fprintf(rt.Out, "%s = %s\n", t.Expr, rel)
+		}
+		return nil
+	case *ast.Assign:
+		rel, err := rt.Eval(t.Expr)
+		if err != nil {
+			return err
+		}
+		guards, err := rt.guardsFor(t)
+		if err != nil {
+			return err
+		}
+		return rt.DB.Assign(t.Target, rel, guards...)
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+// guardsFor builds the selector guards for an assignment target: the paper's
+// Infront[refint] := rex semantics.
+func (rt *Runtime) guardsFor(t *ast.Assign) ([]store.Guard, error) {
+	var guards []store.Guard
+	for i := range t.Suffixes {
+		suf := &t.Suffixes[i]
+		if suf.Kind != ast.SuffixSelector {
+			return nil, fmt.Errorf("assignment through a constructed relation %q is not defined (constructors derive, they do not store)", suf.Name)
+		}
+		sig, ok := rt.Program.Checker.Selectors[suf.Name]
+		if !ok {
+			return nil, fmt.Errorf("unknown selector %q", suf.Name)
+		}
+		args, err := rt.Env.ResolveArgs(suf.Args)
+		if err != nil {
+			return nil, err
+		}
+		guard, err := SelectorGuard(rt.Env, sig.Decl, sig.ForType.Element, args)
+		if err != nil {
+			return nil, err
+		}
+		guards = append(guards, guard)
+	}
+	return guards, nil
+}
+
+// SelectorGuard compiles a selector declaration plus actual arguments into a
+// store.Guard closure — the paper's "logical access path": a compiled
+// procedure with the parameters substituted.
+func SelectorGuard(env *eval.Env, decl *ast.SelectorDecl, elem schema.RecordType, args []eval.Resolved) (store.Guard, error) {
+	if len(args) != len(decl.Params) {
+		return store.Guard{}, fmt.Errorf("selector %q expects %d argument(s), got %d",
+			decl.Name, len(decl.Params), len(args))
+	}
+	scoped := env.Clone()
+	for i, p := range decl.Params {
+		if args[i].IsScalar {
+			scoped.Scalars[p.Name] = args[i].Scalar
+		} else {
+			scoped.Rels[p.Name] = args[i].Rel
+		}
+	}
+	return store.Guard{
+		Name: decl.Name,
+		Pred: func(t value.Tuple) (bool, error) {
+			return scoped.EvalPredWithTuple(decl.Where, decl.BodyVar, elem, t)
+		},
+	}, nil
+}

@@ -1,0 +1,538 @@
+// Package core implements the paper's primary contribution: the constructor
+// language construct (section 3). A constructor, applied to a base relation,
+// "causes relation membership to become true for all tuples constructable
+// through the predicates provided by the constructor definition".
+//
+// The semantics follows section 3.2 exactly: every constructor application
+// apply_j = Actrel{c_j(...)} reachable from a query is *grounded* into an
+// instance of a system of equations
+//
+//	apply_j^(k+1) = g_j(apply_0^k, ..., apply_l^k)
+//
+// where g_j is the constructor body with formal parameters replaced by their
+// actual values, and the joint limit (least fixpoint, [Tars 55]) is computed
+// by package fixpoint — naively (the paper's REPEAT loops) or semi-naively.
+//
+// Mutual recursion (ahead/above in section 3.1) falls out of the grounding:
+// the recursive applications inside a body resolve to instances of the same
+// system, identified by (constructor, base-relation value, argument values).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/fixpoint"
+	"repro/internal/positivity"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Mode selects the fixpoint strategy.
+type Mode uint8
+
+// Fixpoint strategies.
+const (
+	// SemiNaive is the default differential strategy; it requires
+	// monotonicity and therefore falls back to Naive for constructors that
+	// fail the positivity check (possible only with a non-strict registry).
+	SemiNaive Mode = iota
+	// Naive is the paper's REPEAT ... UNTIL loop.
+	Naive
+)
+
+func (m Mode) String() string {
+	if m == Naive {
+		return "naive"
+	}
+	return "semi-naive"
+}
+
+// Constructor is a registered constructor definition together with its
+// resolved result type and positivity analysis.
+type Constructor struct {
+	Decl     *ast.ConstructorDecl
+	Result   schema.RelationType
+	Report   positivity.Report
+	Positive bool
+}
+
+// Registry holds constructor definitions.
+type Registry struct {
+	constructors map[string]*Constructor
+	// Strict rejects non-positive constructors at registration, matching
+	// the paper's DBPL compiler ("for simplicity, the DBPL compiler accepts
+	// only constructors satisfying the positivity constraint"). Turn it off
+	// to experiment with section 3.3's strange constructor.
+	Strict bool
+}
+
+// NewRegistry returns an empty, strict registry.
+func NewRegistry() *Registry {
+	return &Registry{constructors: make(map[string]*Constructor), Strict: true}
+}
+
+// Register adds a constructor with its resolved result type. It runs the
+// positivity check (the "type-checking level" of section 4) and, when the
+// registry is strict, rejects violations.
+func (r *Registry) Register(decl *ast.ConstructorDecl, result schema.RelationType) (*Constructor, error) {
+	if _, dup := r.constructors[decl.Name]; dup {
+		return nil, fmt.Errorf("constructor %q already defined", decl.Name)
+	}
+	rep := positivity.CheckConstructor(decl)
+	c := &Constructor{Decl: decl, Result: result, Report: rep, Positive: rep.Positive()}
+	if r.Strict && !c.Positive {
+		return nil, fmt.Errorf("constructor %q: %v", decl.Name, rep.Error())
+	}
+	r.constructors[decl.Name] = c
+	return c, nil
+}
+
+// Lookup returns a registered constructor.
+func (r *Registry) Lookup(name string) (*Constructor, bool) {
+	c, ok := r.constructors[name]
+	return c, ok
+}
+
+// Names returns the registered constructor names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.constructors))
+	for n := range r.constructors {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stats describes the evaluation of one Apply call.
+type Stats struct {
+	Mode        Mode
+	Instances   int // size of the grounded equation system
+	Rounds      int
+	Evaluations int
+	Tuples      int // tuples in the root application's value
+}
+
+// Engine evaluates constructor applications. It implements
+// eval.ConstructorResolver, so installing it in an eval.Env makes ranges like
+// Infront{ahead} work inside arbitrary queries.
+type Engine struct {
+	Registry *Registry
+	// GlobalEnv supplies selector declarations, named relation variables
+	// (selector bodies may reference globals, like refint's Objects), and
+	// relation types.
+	GlobalEnv *eval.Env
+	Mode      Mode
+	// MaxRounds bounds iterations of non-monotonic systems; 0 means a
+	// large default.
+	MaxRounds int
+	// LastStats records the most recent top-level Apply.
+	LastStats Stats
+}
+
+// NewEngine creates an engine over a registry and global environment and
+// installs itself as the environment's constructor resolver.
+func NewEngine(reg *Registry, global *eval.Env) *Engine {
+	en := &Engine{Registry: reg, GlobalEnv: global, Mode: SemiNaive}
+	global.Constructors = en
+	return en
+}
+
+// ApplyConstructor implements eval.ConstructorResolver.
+func (en *Engine) ApplyConstructor(name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
+	return en.Apply(name, base, args)
+}
+
+// Apply evaluates Actrel{c(args)}: grounds the reachable application system
+// and computes its least fixpoint, returning the root application's value.
+func (en *Engine) Apply(name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
+	sys := &system{engine: en, byKey: make(map[string]*instance), fps: make(map[*relation.Relation]string)}
+	rootKey, err := sys.ground(name, base, args)
+	if err != nil {
+		return nil, err
+	}
+
+	mode := en.Mode
+	allowNonMono := false
+	for _, inst := range sys.instances {
+		if !inst.cons.Positive {
+			mode = Naive // semi-naive requires monotonicity
+			allowNonMono = true
+		}
+	}
+	maxRounds := en.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono}
+
+	var state []*relation.Relation
+	var fstats fixpoint.Stats
+	if mode == Naive {
+		state, fstats, err = fixpoint.Naive(sys, opts)
+	} else {
+		state, fstats, err = fixpoint.SemiNaive(sys, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("constructor %s: %w", name, err)
+	}
+	root := sys.byKey[rootKey]
+	en.LastStats = Stats{
+		Mode:        mode,
+		Instances:   len(sys.instances),
+		Rounds:      fstats.Rounds,
+		Evaluations: fstats.Evaluations,
+		Tuples:      state[root.index].Len(),
+	}
+	return state[root.index], nil
+}
+
+// ---------------------------------------------------------------------------
+// Grounding (section 3.2: "replacing all formal parameters by their actual
+// values" and collecting the applications apply_1..apply_l)
+// ---------------------------------------------------------------------------
+
+// markerPrefix names occurrence markers; the parser can never produce an
+// identifier starting with '$', so markers cannot collide with user names.
+const markerPrefix = "$app#"
+
+func isMarkerName(name string) bool { return strings.HasPrefix(name, markerPrefix) }
+
+// instance is one grounded constructor application.
+type instance struct {
+	index int
+	key   string
+	cons  *Constructor
+	// body is the instantiated body: formal names are bound in env, and
+	// every recursive constructor application range has been rewritten to a
+	// unique occurrence marker $app#<n> whose referenced instance is in
+	// occKeys.
+	body *ast.SetExpr
+	env  *eval.Env
+	// occKeys maps occurrence marker names to instance keys.
+	occKeys map[string]string
+	// branches classifies each body branch for semi-naive evaluation.
+	branches []branchInfo
+}
+
+// branchInfo records, per branch, which occurrence markers appear and whether
+// each appears as a bare top-level binding range (differentiable) or in a
+// nested position (quantifier range, membership, suffixed marker), which
+// forces full re-evaluation of the branch every round.
+type branchInfo struct {
+	recursive      bool
+	differentiable bool
+	bindingOccs    []string // marker names appearing as bare binding ranges
+}
+
+type system struct {
+	engine    *Engine
+	instances []*instance
+	byKey     map[string]*instance
+	fps       map[*relation.Relation]string // fingerprint cache
+}
+
+func (s *system) fp(r *relation.Relation) string {
+	if f, ok := s.fps[r]; ok {
+		return f
+	}
+	f := fixpoint.Fingerprint(r)
+	s.fps[r] = f
+	return f
+}
+
+// appKey builds the canonical identity of an application from the
+// constructor name, the base relation's content, and the argument values.
+func (s *system) appKey(name string, base *relation.Relation, args []eval.Resolved) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte(0)
+	b.WriteString(s.fp(base))
+	for _, a := range args {
+		if a.IsScalar {
+			b.WriteString("\x00s")
+			b.WriteString(value.Tuple{a.Scalar}.Key())
+		} else {
+			b.WriteString("\x00r")
+			b.WriteString(s.fp(a.Rel))
+		}
+	}
+	return b.String()
+}
+
+// ground ensures an instance exists for the application and returns its key.
+func (s *system) ground(name string, base *relation.Relation, args []eval.Resolved) (string, error) {
+	cons, ok := s.engine.Registry.Lookup(name)
+	if !ok {
+		return "", fmt.Errorf("unknown constructor %q", name)
+	}
+	if len(args) != len(cons.Decl.Params) {
+		return "", fmt.Errorf("constructor %q expects %d argument(s), got %d",
+			name, len(cons.Decl.Params), len(args))
+	}
+	key := s.appKey(name, base, args)
+	if _, exists := s.byKey[key]; exists {
+		return key, nil
+	}
+
+	inst := &instance{
+		index:   len(s.instances),
+		key:     key,
+		cons:    cons,
+		body:    ast.CopySetExpr(cons.Decl.Body),
+		env:     s.engine.GlobalEnv.Clone(),
+		occKeys: make(map[string]string),
+	}
+	// Bind formals: the base-relation variable and the parameters. The
+	// bindings shadow any same-named globals, which is exactly the paper's
+	// static scoping of constructor definitions.
+	inst.env.Rels[cons.Decl.ForVar] = base
+	for i, p := range cons.Decl.Params {
+		if args[i].IsScalar {
+			inst.env.Scalars[p.Name] = args[i].Scalar
+		} else {
+			inst.env.Rels[p.Name] = args[i].Rel
+		}
+	}
+	// Register before walking the body so recursive references resolve to
+	// this very instance instead of recursing forever.
+	s.byKey[key] = inst
+	s.instances = append(s.instances, inst)
+
+	// Rewrite every constructor application inside the body into an
+	// occurrence marker, grounding the referenced instances.
+	occCounter := 0
+	var rewriteErr error
+	ast.WalkRanges(inst.body, func(r *ast.Range) {
+		if rewriteErr != nil {
+			return
+		}
+		if err := s.rewriteRange(inst, r, &occCounter); err != nil {
+			rewriteErr = err
+		}
+	})
+	if rewriteErr != nil {
+		return "", rewriteErr
+	}
+
+	inst.classifyBranches()
+	return key, nil
+}
+
+// rewriteRange replaces the constructor suffixes of one range with an
+// occurrence marker. The prefix (base plus any selector suffixes before the
+// first constructor suffix) must evaluate to a concrete relation at grounding
+// time; suffixes after the constructor application remain on the marker and
+// are re-applied against the current approximation each round.
+func (s *system) rewriteRange(inst *instance, r *ast.Range, occCounter *int) error {
+	first := -1
+	for i, suf := range r.Suffixes {
+		if suf.Kind == ast.SuffixConstructor {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	if containsMarker(r, first) {
+		return fmt.Errorf(
+			"constructor %s: application %s uses a recursive occurrence in its base or arguments; merging such subgraphs requires runtime compilation (section 4) and is not supported",
+			inst.cons.Decl.Name, r.Suffixes[first].Name)
+	}
+	// Evaluate the prefix concretely.
+	prefix := &ast.Range{Var: r.Var, Sub: r.Sub, Suffixes: r.Suffixes[:first], Pos: r.Pos}
+	base, err := inst.env.Range(prefix)
+	if err != nil {
+		return err
+	}
+	suf := r.Suffixes[first]
+	args, err := inst.env.ResolveArgs(suf.Args)
+	if err != nil {
+		return err
+	}
+	childKey, err := s.ground(suf.Name, base, args)
+	if err != nil {
+		return err
+	}
+	marker := fmt.Sprintf("%s%d", markerPrefix, *occCounter)
+	*occCounter++
+	inst.occKeys[marker] = childKey
+
+	rest := r.Suffixes[first+1:]
+	for _, nxt := range rest {
+		if nxt.Kind == ast.SuffixConstructor {
+			return fmt.Errorf(
+				"constructor %s: chained constructor application %s on a recursive occurrence is not supported",
+				inst.cons.Decl.Name, nxt.Name)
+		}
+	}
+	r.Var = marker
+	r.Sub = nil
+	r.Suffixes = rest
+	return nil
+}
+
+// containsMarker reports whether the range's base, sub-expression, or the
+// arguments of suffixes up to and including the first constructor suffix
+// mention an occurrence marker (a recursive value), which cannot be evaluated
+// at grounding time.
+func containsMarker(r *ast.Range, firstCons int) bool {
+	found := false
+	check := func(rr *ast.Range) {
+		if isMarkerName(rr.Var) {
+			found = true
+		}
+	}
+	if isMarkerName(r.Var) {
+		found = true
+	}
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, check)
+	}
+	for i := 0; i <= firstCons && i < len(r.Suffixes); i++ {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil {
+				walkOne(a.Rel, check)
+			}
+		}
+	}
+	return found
+}
+
+func walkOne(r *ast.Range, fn func(*ast.Range)) {
+	fn(r)
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, fn)
+	}
+	for i := range r.Suffixes {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil {
+				walkOne(a.Rel, fn)
+			}
+		}
+	}
+}
+
+// classifyBranches precomputes, per branch, the occurrence markers and
+// whether semi-naive differentiation applies.
+func (inst *instance) classifyBranches() {
+	inst.branches = make([]branchInfo, len(inst.body.Branches))
+	for i := range inst.body.Branches {
+		br := &inst.body.Branches[i]
+		info := &inst.branches[i]
+		if br.Literal != nil {
+			continue
+		}
+		bare := make([]string, 0, len(br.Binds))
+		nested := false
+		seen := func(r *ast.Range) {
+			if isMarkerName(r.Var) {
+				nested = true
+			}
+		}
+		for _, bd := range br.Binds {
+			if isMarkerName(bd.Range.Var) && bd.Range.Sub == nil && len(bd.Range.Suffixes) == 0 {
+				bare = append(bare, bd.Range.Var)
+				continue
+			}
+			walkOne(bd.Range, seen)
+		}
+		if br.Where != nil {
+			predRangesOnly(br.Where, seen)
+		}
+		info.recursive = nested || len(bare) > 0
+		info.differentiable = !nested && len(bare) > 0
+		info.bindingOccs = bare
+	}
+}
+
+// predRangesOnly walks ranges inside a predicate.
+func predRangesOnly(p ast.Pred, fn func(*ast.Range)) {
+	switch q := p.(type) {
+	case ast.And:
+		predRangesOnly(q.L, fn)
+		predRangesOnly(q.R, fn)
+	case ast.Or:
+		predRangesOnly(q.L, fn)
+		predRangesOnly(q.R, fn)
+	case ast.Not:
+		predRangesOnly(q.P, fn)
+	case ast.Quant:
+		walkOne(q.Range, fn)
+		predRangesOnly(q.Body, fn)
+	case ast.Member:
+		walkOne(q.Range, fn)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// fixpoint.Evaluator implementation
+// ---------------------------------------------------------------------------
+
+// N implements fixpoint.Evaluator.
+func (s *system) N() int { return len(s.instances) }
+
+// NewRelation implements fixpoint.Evaluator.
+func (s *system) NewRelation(i int) *relation.Relation {
+	return relation.New(s.instances[i].cons.Result)
+}
+
+// bindState binds every occurrence marker of inst to the referenced
+// instance's relation from the given state, applying overrides (deltas), and
+// resets the env's range memo.
+func (s *system) bindState(inst *instance, state []*relation.Relation, overrides map[string]*relation.Relation) {
+	for marker, key := range inst.occKeys {
+		ref := s.byKey[key]
+		rel := state[ref.index]
+		if o, ok := overrides[marker]; ok {
+			rel = o
+		}
+		inst.env.Rels[marker] = rel
+	}
+	inst.env.ResetMemo()
+}
+
+// EvalFull implements fixpoint.Evaluator: g_i over the full state.
+func (s *system) EvalFull(i int, cur []*relation.Relation) (*relation.Relation, error) {
+	inst := s.instances[i]
+	s.bindState(inst, cur, nil)
+	return inst.env.SetExpr(inst.body, &inst.cons.Result)
+}
+
+// EvalIncrement implements fixpoint.Evaluator. Non-recursive branches
+// contribute nothing after round 0; differentiable branches are evaluated
+// once per bare recursive occurrence with that occurrence restricted to the
+// referenced instance's delta; non-differentiable recursive branches are
+// re-evaluated in full.
+func (s *system) EvalIncrement(i int, cur, delta []*relation.Relation) (*relation.Relation, error) {
+	inst := s.instances[i]
+	out := relation.New(inst.cons.Result)
+	for bi := range inst.body.Branches {
+		info := inst.branches[bi]
+		br := &inst.body.Branches[bi]
+		switch {
+		case !info.recursive:
+			continue
+		case info.differentiable:
+			for _, marker := range info.bindingOccs {
+				ref := s.byKey[inst.occKeys[marker]]
+				if delta[ref.index].IsEmpty() {
+					continue
+				}
+				s.bindState(inst, cur, map[string]*relation.Relation{marker: delta[ref.index]})
+				if err := inst.env.EvalBranchInto(br, out); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			s.bindState(inst, cur, nil)
+			if err := inst.env.EvalBranchInto(br, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,769 @@
+// Package eval implements the set-oriented evaluator for DBPL relational
+// calculus expressions — the "set-construction framework of database systems"
+// that the paper contrasts with proof-oriented, tuple-at-a-time methods
+// (sections 1 and 4).
+//
+// A set expression {branch, branch, ...} evaluates to the union of its
+// branches. Each branch binds tuple variables to materialized ranges, applies
+// its predicate, and projects through the target list. The evaluator performs
+// simple physical planning: top-level conjuncts of the predicate that equate
+// an attribute of a later binding with constants or attributes of earlier
+// bindings become hash-index probes (the equi-join of f.back = b.head in the
+// ahead constructor), and every other conjunct is evaluated at the earliest
+// binding position where its free variables are bound.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Resolved is an evaluated actual argument to a selector or constructor.
+type Resolved struct {
+	Rel      *relation.Relation
+	Scalar   value.Value
+	IsScalar bool
+}
+
+// ConstructorResolver resolves a constructor application Rel{c(args)} to its
+// constructed value. Package core supplies the least-fixpoint implementation;
+// the indirection keeps eval free of a dependency cycle.
+type ConstructorResolver interface {
+	ApplyConstructor(name string, base *relation.Relation, args []Resolved) (*relation.Relation, error)
+}
+
+// Env is the evaluation environment: relation variables (including formal
+// base-relation and relation-parameter names during constructor evaluation),
+// scalar parameters, named relation types, selector declarations, and the
+// constructor resolver.
+type Env struct {
+	Rels         map[string]*relation.Relation
+	Scalars      map[string]value.Value
+	RelTypes     map[string]schema.RelationType
+	Selectors    map[string]*ast.SelectorDecl
+	Constructors ConstructorResolver
+
+	// rangeMemo caches materialized ranges within one evaluation so that
+	// quantifier ranges inside loops are not re-materialized per tuple.
+	rangeMemo map[*ast.Range]*relation.Relation
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		Rels:      make(map[string]*relation.Relation),
+		Scalars:   make(map[string]value.Value),
+		RelTypes:  make(map[string]schema.RelationType),
+		Selectors: make(map[string]*ast.SelectorDecl),
+	}
+}
+
+// Clone returns a shallow copy sharing definitions but with an independent
+// relation binding map, for scoped re-binding.
+func (e *Env) Clone() *Env {
+	c := &Env{
+		Rels:         make(map[string]*relation.Relation, len(e.Rels)),
+		Scalars:      make(map[string]value.Value, len(e.Scalars)),
+		RelTypes:     e.RelTypes,
+		Selectors:    e.Selectors,
+		Constructors: e.Constructors,
+	}
+	for k, v := range e.Rels {
+		c.Rels[k] = v
+	}
+	for k, v := range e.Scalars {
+		c.Scalars[k] = v
+	}
+	return c
+}
+
+// bindings tracks tuple-variable bindings during branch evaluation.
+type bindings struct {
+	vars  []string
+	tups  []value.Tuple
+	types []schema.RecordType
+}
+
+func (b *bindings) lookup(v string) (value.Tuple, schema.RecordType, bool) {
+	for i := len(b.vars) - 1; i >= 0; i-- {
+		if b.vars[i] == v {
+			return b.tups[i], b.types[i], true
+		}
+	}
+	return nil, schema.RecordType{}, false
+}
+
+func (b *bindings) push(v string, t value.Tuple, rt schema.RecordType) {
+	b.vars = append(b.vars, v)
+	b.tups = append(b.tups, t)
+	b.types = append(b.types, rt)
+}
+
+func (b *bindings) pop() {
+	b.vars = b.vars[:len(b.vars)-1]
+	b.tups = b.tups[:len(b.tups)-1]
+	b.types = b.types[:len(b.types)-1]
+}
+
+// ---------------------------------------------------------------------------
+// Range materialization
+// ---------------------------------------------------------------------------
+
+// Range materializes a range expression: the base relation with every
+// selector/constructor suffix applied left to right.
+func (e *Env) Range(r *ast.Range) (*relation.Relation, error) {
+	if e.rangeMemo == nil {
+		e.rangeMemo = make(map[*ast.Range]*relation.Relation)
+	}
+	if cached, ok := e.rangeMemo[r]; ok {
+		return cached, nil
+	}
+	var cur *relation.Relation
+	var err error
+	switch {
+	case r.Sub != nil:
+		cur, err = e.SetExpr(r.Sub, nil)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		var ok bool
+		cur, ok = e.Rels[r.Var]
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown relation %q", r.Pos, r.Var)
+		}
+	}
+	for i := range r.Suffixes {
+		cur, err = e.applySuffix(cur, &r.Suffixes[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.rangeMemo[r] = cur
+	return cur, nil
+}
+
+func (e *Env) applySuffix(base *relation.Relation, s *ast.Suffix) (*relation.Relation, error) {
+	switch s.Kind {
+	case ast.SuffixSelector:
+		return e.applySelector(base, s)
+	default:
+		if e.Constructors == nil {
+			return nil, fmt.Errorf("%s: constructor %q applied but no constructor resolver installed", s.Pos, s.Name)
+		}
+		args, err := e.ResolveArgs(s.Args)
+		if err != nil {
+			return nil, err
+		}
+		return e.Constructors.ApplyConstructor(s.Name, base, args)
+	}
+}
+
+// ResetMemo clears the materialized-range cache. Callers that re-bind
+// relation variables between evaluations over the same AST (the fixpoint
+// engine re-binding recursive occurrences each round) must reset the memo.
+func (e *Env) ResetMemo() { e.rangeMemo = nil }
+
+// ResolveArgs evaluates actual arguments. A bare-identifier "relation"
+// argument that names a bound scalar parameter is reinterpreted as a scalar
+// (the parser cannot distinguish the two).
+func (e *Env) ResolveArgs(args []ast.Arg) ([]Resolved, error) {
+	out := make([]Resolved, len(args))
+	for i, a := range args {
+		switch {
+		case a.Scalar != nil:
+			v, err := e.Term(a.Scalar, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Resolved{Scalar: v, IsScalar: true}
+		case a.Rel != nil:
+			if a.Rel.Sub == nil && len(a.Rel.Suffixes) == 0 {
+				if v, ok := e.Scalars[a.Rel.Var]; ok {
+					out[i] = Resolved{Scalar: v, IsScalar: true}
+					continue
+				}
+			}
+			rel, err := e.Range(a.Rel)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = Resolved{Rel: rel}
+		default:
+			return nil, fmt.Errorf("empty argument")
+		}
+	}
+	return out, nil
+}
+
+// applySelector filters the base relation through a selector declaration —
+// the paper's Rel[sel(args)] (section 2.3, Fig 1).
+func (e *Env) applySelector(base *relation.Relation, s *ast.Suffix) (*relation.Relation, error) {
+	decl, ok := e.Selectors[s.Name]
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown selector %q", s.Pos, s.Name)
+	}
+	if len(s.Args) != len(decl.Params) {
+		return nil, fmt.Errorf("%s: selector %q expects %d argument(s), got %d",
+			s.Pos, s.Name, len(decl.Params), len(s.Args))
+	}
+	args, err := e.ResolveArgs(s.Args)
+	if err != nil {
+		return nil, err
+	}
+	// Scoped environment: formal scalar params bound to actuals, formal
+	// relation params bound to actuals, and the For-variable to the base.
+	scoped := e.Clone()
+	for i, p := range decl.Params {
+		if args[i].IsScalar {
+			scoped.Scalars[p.Name] = args[i].Scalar
+		} else {
+			scoped.Rels[p.Name] = args[i].Rel
+		}
+	}
+	scoped.Rels[decl.ForVar] = base
+
+	out := relation.New(base.Type())
+	// The selector body reads attributes through its declared For-type;
+	// bases of positionally compatible types (e.g. applying an infrontrel
+	// selector to a constructed aheadrel) are re-labelled accordingly.
+	elem := base.Type().Element
+	if nt, ok := decl.ForType.(ast.NamedType); ok {
+		if rt, ok2 := e.RelTypes[nt.Name]; ok2 && rt.Element.Arity() == elem.Arity() {
+			elem = rt.Element
+		}
+	}
+	var b bindings
+	var iterErr error
+	base.Each(func(t value.Tuple) bool {
+		b.push(decl.BodyVar, t, elem)
+		keep, err := scoped.Pred(decl.Where, &b)
+		b.pop()
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if keep {
+			out.Add(t)
+		}
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Set expression evaluation
+// ---------------------------------------------------------------------------
+
+// SetExpr evaluates a set expression. If resultType is nil, the result type
+// is inferred from the first branch (section 3.1's positional typing).
+func (e *Env) SetExpr(s *ast.SetExpr, resultType *schema.RelationType) (*relation.Relation, error) {
+	var rt schema.RelationType
+	if resultType != nil {
+		rt = *resultType
+	} else {
+		inferred, err := e.InferType(s)
+		if err != nil {
+			return nil, err
+		}
+		rt = inferred
+	}
+	out := relation.New(rt)
+	for i := range s.Branches {
+		if err := e.branchInto(&s.Branches[i], out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvalBranchInto evaluates a single branch, adding result tuples to out.
+// Exposed for the semi-naive fixpoint engine, which evaluates branches
+// individually against delta relations.
+func (e *Env) EvalBranchInto(br *ast.Branch, out *relation.Relation) error {
+	return e.branchInto(br, out)
+}
+
+func (e *Env) branchInto(br *ast.Branch, out *relation.Relation) error {
+	if br.Literal != nil {
+		tup := make(value.Tuple, len(br.Literal))
+		for i, tm := range br.Literal {
+			v, err := e.Term(tm, nil)
+			if err != nil {
+				return err
+			}
+			tup[i] = v
+		}
+		if len(tup) != out.Type().Element.Arity() {
+			return fmt.Errorf("%s: literal tuple arity %d does not match result arity %d",
+				br.Pos, len(tup), out.Type().Element.Arity())
+		}
+		return out.Insert(tup)
+	}
+
+	// Materialize all ranges up front.
+	rels := make([]*relation.Relation, len(br.Binds))
+	for i, bd := range br.Binds {
+		r, err := e.Range(bd.Range)
+		if err != nil {
+			return err
+		}
+		rels[i] = r
+	}
+
+	plan, err := e.planBranch(br, rels)
+	if err != nil {
+		return err
+	}
+
+	var b bindings
+	return e.runPlan(br, plan, rels, 0, &b, out)
+}
+
+// branchPlan holds per-binding probe and residual scheduling decisions.
+type branchPlan struct {
+	// probeFields[i] lists attributes of binding i used as the index key;
+	// probeTerms[i] lists the matching terms over earlier bindings.
+	probeFields [][]ast.Field
+	probeTerms  [][]ast.Term
+	indexes     []*relation.Index
+	// residuals[i] are the conjuncts evaluated once bindings 0..i are set.
+	residuals [][]ast.Pred
+}
+
+// conjuncts flattens top-level ANDs.
+func conjuncts(p ast.Pred, out []ast.Pred) []ast.Pred {
+	if a, ok := p.(ast.And); ok {
+		out = conjuncts(a.L, out)
+		return conjuncts(a.R, out)
+	}
+	return append(out, p)
+}
+
+// freePredVars collects tuple variables free in p (quantifier-bound vars are
+// excluded) into the set.
+func freePredVars(p ast.Pred, bound map[string]bool, out map[string]bool) {
+	switch q := p.(type) {
+	case ast.BoolLit:
+	case ast.Cmp:
+		freeTermVars(q.L, out)
+		freeTermVars(q.R, out)
+	case ast.And:
+		freePredVars(q.L, bound, out)
+		freePredVars(q.R, bound, out)
+	case ast.Or:
+		freePredVars(q.L, bound, out)
+		freePredVars(q.R, bound, out)
+	case ast.Not:
+		freePredVars(q.P, bound, out)
+	case ast.Quant:
+		inner := map[string]bool{q.Var: true}
+		for k := range bound {
+			inner[k] = true
+		}
+		var tmp map[string]bool = make(map[string]bool)
+		freePredVars(q.Body, inner, tmp)
+		for k := range tmp {
+			if !inner[k] || bound[k] {
+				out[k] = true
+			}
+		}
+		delete(out, q.Var)
+	case ast.Member:
+		if q.VarTuple != "" {
+			out[q.VarTuple] = true
+		}
+		for _, t := range q.Terms {
+			freeTermVars(t, out)
+		}
+	}
+}
+
+func freeTermVars(t ast.Term, out map[string]bool) {
+	switch u := t.(type) {
+	case ast.Field:
+		out[u.Var] = true
+	case ast.Arith:
+		freeTermVars(u.L, out)
+		freeTermVars(u.R, out)
+	}
+}
+
+// FreeVarsOfPred returns the free tuple variables of p; exported for the
+// optimizer and quant-graph builder.
+func FreeVarsOfPred(p ast.Pred) map[string]bool {
+	out := make(map[string]bool)
+	freePredVars(p, nil, out)
+	return out
+}
+
+func (e *Env) planBranch(br *ast.Branch, rels []*relation.Relation) (*branchPlan, error) {
+	n := len(br.Binds)
+	plan := &branchPlan{
+		probeFields: make([][]ast.Field, n),
+		probeTerms:  make([][]ast.Term, n),
+		indexes:     make([]*relation.Index, n),
+		residuals:   make([][]ast.Pred, n),
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%s: branch has no bindings", br.Pos)
+	}
+	varPos := make(map[string]int, n)
+	for i, bd := range br.Binds {
+		if _, dup := varPos[bd.Var]; dup {
+			return nil, fmt.Errorf("%s: duplicate tuple variable %q", bd.Pos, bd.Var)
+		}
+		varPos[bd.Var] = i
+	}
+
+	cs := conjuncts(br.Where, nil)
+	for _, c := range cs {
+		placed := false
+		// An equality conjunct v.attr = term (or term = v.attr) where term's
+		// vars all bind earlier than v becomes an index probe on v's range.
+		if cmp, ok := c.(ast.Cmp); ok && cmp.Op == ast.OpEq {
+			if tryProbe(plan, varPos, cmp.L, cmp.R) || tryProbe(plan, varPos, cmp.R, cmp.L) {
+				placed = true
+			}
+		}
+		if placed {
+			continue
+		}
+		// Residual: schedule at the latest-binding free variable.
+		fv := FreeVarsOfPred(c)
+		at := 0
+		for v := range fv {
+			i, ok := varPos[v]
+			if !ok {
+				// Variable bound outside this branch (nested contexts) —
+				// schedule innermost to be safe.
+				i = n - 1
+			}
+			if i > at {
+				at = i
+			}
+		}
+		plan.residuals[at] = append(plan.residuals[at], c)
+	}
+
+	// Resolve probe attribute positions and build indexes.
+	for i := range br.Binds {
+		if len(plan.probeFields[i]) == 0 {
+			continue
+		}
+		elem := rels[i].Type().Element
+		positions := make([]int, 0, len(plan.probeFields[i]))
+		okFields := plan.probeFields[i][:0]
+		okTerms := plan.probeTerms[i][:0]
+		for k, f := range plan.probeFields[i] {
+			pos := elem.IndexOf(f.Attr)
+			if pos < 0 {
+				// Attribute does not exist at runtime type: demote the
+				// conjunct to a residual so the usual error surfaces.
+				plan.residuals[i] = append(plan.residuals[i],
+					ast.Cmp{Op: ast.OpEq, L: f, R: plan.probeTerms[i][k]})
+				continue
+			}
+			positions = append(positions, pos)
+			okFields = append(okFields, f)
+			okTerms = append(okTerms, plan.probeTerms[i][k])
+		}
+		plan.probeFields[i] = okFields
+		plan.probeTerms[i] = okTerms
+		if len(positions) > 0 {
+			plan.indexes[i] = relation.BuildIndex(rels[i], positions)
+		}
+	}
+	return plan, nil
+}
+
+// tryProbe attempts to register lhs (a Field of some binding i) probed by rhs
+// (terms over strictly earlier bindings, params, and constants).
+func tryProbe(plan *branchPlan, varPos map[string]int, lhs, rhs ast.Term) bool {
+	f, ok := lhs.(ast.Field)
+	if !ok {
+		return false
+	}
+	i, ok := varPos[f.Var]
+	if !ok {
+		return false
+	}
+	fv := make(map[string]bool)
+	freeTermVars(rhs, fv)
+	for v := range fv {
+		j, ok := varPos[v]
+		if !ok || j >= i {
+			return false
+		}
+	}
+	plan.probeTerms[i] = append(plan.probeTerms[i], rhs)
+	plan.probeFields[i] = append(plan.probeFields[i], f)
+	return true
+}
+
+func (e *Env) runPlan(br *ast.Branch, plan *branchPlan, rels []*relation.Relation,
+	i int, b *bindings, out *relation.Relation) error {
+
+	if i == len(br.Binds) {
+		return e.emit(br, b, out)
+	}
+	elem := rels[i].Type().Element
+
+	iter := func(t value.Tuple) error {
+		b.push(br.Binds[i].Var, t, elem)
+		defer b.pop()
+		for _, res := range plan.residuals[i] {
+			ok, err := e.Pred(res, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return e.runPlan(br, plan, rels, i+1, b, out)
+	}
+
+	if plan.indexes[i] != nil {
+		key := make(value.Tuple, len(plan.probeTerms[i]))
+		for k, tm := range plan.probeTerms[i] {
+			v, err := e.Term(tm, b)
+			if err != nil {
+				return err
+			}
+			// A probe against an attribute of a different kind is the
+			// dynamic form of a type error, not an empty result.
+			attr := elem.IndexOf(plan.probeFields[i][k].Attr)
+			if attr >= 0 && elem.Attrs[attr].Type.Kind != v.Kind() {
+				return fmt.Errorf("%s: comparison of %s attribute %q with %s value",
+					plan.probeFields[i][k].Pos, elem.Attrs[attr].Type.Kind,
+					plan.probeFields[i][k].Attr, v.Kind())
+			}
+			key[k] = v
+		}
+		for _, t := range plan.indexes[i].Probe(key) {
+			if err := iter(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var iterErr error
+	rels[i].Each(func(t value.Tuple) bool {
+		if err := iter(t); err != nil {
+			iterErr = err
+			return false
+		}
+		return true
+	})
+	return iterErr
+}
+
+func (e *Env) emit(br *ast.Branch, b *bindings, out *relation.Relation) error {
+	var tup value.Tuple
+	if br.Target == nil {
+		t, _, ok := b.lookup(br.Binds[0].Var)
+		if !ok {
+			return fmt.Errorf("%s: unbound branch variable %q", br.Pos, br.Binds[0].Var)
+		}
+		tup = t
+	} else {
+		tup = make(value.Tuple, len(br.Target))
+		for i, tm := range br.Target {
+			v, err := e.Term(tm, b)
+			if err != nil {
+				return err
+			}
+			tup[i] = v
+		}
+	}
+	if len(tup) != out.Type().Element.Arity() {
+		return fmt.Errorf("%s: branch yields arity %d, result type has arity %d",
+			br.Pos, len(tup), out.Type().Element.Arity())
+	}
+	return out.Insert(tup)
+}
+
+// ---------------------------------------------------------------------------
+// Predicates and terms
+// ---------------------------------------------------------------------------
+
+// EvalPredWithTuple evaluates a predicate with a single tuple variable bound
+// — the evaluation shape of selector guards on assignment (section 2.3).
+func (e *Env) EvalPredWithTuple(p ast.Pred, varName string, elem schema.RecordType, t value.Tuple) (bool, error) {
+	var b bindings
+	b.push(varName, t, elem)
+	return e.Pred(p, &b)
+}
+
+// Pred evaluates a predicate under the current bindings.
+func (e *Env) Pred(p ast.Pred, b *bindings) (bool, error) {
+	switch q := p.(type) {
+	case ast.BoolLit:
+		return q.Val, nil
+	case ast.Cmp:
+		l, err := e.Term(q.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.Term(q.R, b)
+		if err != nil {
+			return false, err
+		}
+		if l.Kind() != r.Kind() {
+			return false, fmt.Errorf("comparison %s between %s and %s values",
+				q.Op, l.Kind(), r.Kind())
+		}
+		c := l.Compare(r)
+		switch q.Op {
+		case ast.OpEq:
+			return c == 0, nil
+		case ast.OpNe:
+			return c != 0, nil
+		case ast.OpLt:
+			return c < 0, nil
+		case ast.OpLe:
+			return c <= 0, nil
+		case ast.OpGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case ast.And:
+		l, err := e.Pred(q.L, b)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.Pred(q.R, b)
+	case ast.Or:
+		l, err := e.Pred(q.L, b)
+		if err != nil || l {
+			return l, err
+		}
+		return e.Pred(q.R, b)
+	case ast.Not:
+		inner, err := e.Pred(q.P, b)
+		return !inner, err
+	case ast.Quant:
+		rel, err := e.Range(q.Range)
+		if err != nil {
+			return false, err
+		}
+		elem := rel.Type().Element
+		result := q.All // ALL over empty range is true; SOME is false
+		var iterErr error
+		rel.Each(func(t value.Tuple) bool {
+			b.push(q.Var, t, elem)
+			ok, err := e.Pred(q.Body, b)
+			b.pop()
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			if q.All && !ok {
+				result = false
+				return false
+			}
+			if !q.All && ok {
+				result = true
+				return false
+			}
+			return true
+		})
+		return result, iterErr
+	case ast.Member:
+		rel, err := e.Range(q.Range)
+		if err != nil {
+			return false, err
+		}
+		var tup value.Tuple
+		if q.VarTuple != "" {
+			t, _, ok := b.lookup(q.VarTuple)
+			if !ok {
+				return false, fmt.Errorf("%s: unbound tuple variable %q in membership", q.Pos, q.VarTuple)
+			}
+			tup = t
+		} else {
+			tup = make(value.Tuple, len(q.Terms))
+			for i, tm := range q.Terms {
+				v, err := e.Term(tm, b)
+				if err != nil {
+					return false, err
+				}
+				tup[i] = v
+			}
+		}
+		return rel.Contains(tup), nil
+	default:
+		return false, fmt.Errorf("eval: unknown predicate %T", p)
+	}
+}
+
+// Term evaluates a scalar term under the current bindings; b may be nil for
+// closed terms.
+func (e *Env) Term(t ast.Term, b *bindings) (value.Value, error) {
+	switch u := t.(type) {
+	case ast.Const:
+		return u.Val, nil
+	case ast.Param:
+		if v, ok := e.Scalars[u.Name]; ok {
+			return v, nil
+		}
+		return value.Value{}, fmt.Errorf("%s: unbound scalar parameter %q", u.Pos, u.Name)
+	case ast.Field:
+		if b == nil {
+			return value.Value{}, fmt.Errorf("%s: attribute access %s outside tuple scope", u.Pos, u)
+		}
+		tup, rt, ok := b.lookup(u.Var)
+		if !ok {
+			return value.Value{}, fmt.Errorf("%s: unbound tuple variable %q", u.Pos, u.Var)
+		}
+		idx := rt.IndexOf(u.Attr)
+		if idx < 0 {
+			return value.Value{}, fmt.Errorf("%s: tuple variable %q has no attribute %q (type %s)",
+				u.Pos, u.Var, u.Attr, rt)
+		}
+		return tup[idx], nil
+	case ast.Arith:
+		l, err := e.Term(u.L, b)
+		if err != nil {
+			return value.Value{}, err
+		}
+		r, err := e.Term(u.R, b)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if l.Kind() != value.KindInt || r.Kind() != value.KindInt {
+			return value.Value{}, fmt.Errorf("arithmetic %s on non-integer operands", u.Op)
+		}
+		a, c := l.AsInt(), r.AsInt()
+		switch u.Op {
+		case ast.OpAdd:
+			return value.Int(a + c), nil
+		case ast.OpSub:
+			return value.Int(a - c), nil
+		case ast.OpMul:
+			return value.Int(a * c), nil
+		case ast.OpDiv:
+			if c == 0 {
+				return value.Value{}, fmt.Errorf("division by zero")
+			}
+			return value.Int(a / c), nil
+		default:
+			if c == 0 {
+				return value.Value{}, fmt.Errorf("MOD by zero")
+			}
+			return value.Int(a % c), nil
+		}
+	default:
+		return value.Value{}, fmt.Errorf("eval: unknown term %T", t)
+	}
+}

@@ -1,0 +1,267 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+var (
+	partT    = schema.StringType()
+	infrontT = schema.RelationType{Name: "infrontrel",
+		Element: schema.RecordType{Attrs: []schema.Attribute{
+			{Name: "front", Type: partT}, {Name: "back", Type: partT}}}}
+	objT = schema.RelationType{Name: "objectrel",
+		Element: schema.RecordType{Attrs: []schema.Attribute{
+			{Name: "part", Type: partT}}}, Key: []string{"part"}}
+)
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	e := NewEnv()
+	e.RelTypes["infrontrel"] = infrontT
+	e.Rels["Infront"] = relation.MustFromTuples(infrontT,
+		value.NewTuple(value.Str("vase"), value.Str("table")),
+		value.NewTuple(value.Str("table"), value.Str("chair")),
+		value.NewTuple(value.Str("chair"), value.Str("door")),
+	)
+	e.Rels["Objects"] = relation.MustFromTuples(objT,
+		value.NewTuple(value.Str("vase")),
+		value.NewTuple(value.Str("table")),
+		value.NewTuple(value.Str("chair")),
+	)
+	return e
+}
+
+func evalSet(t *testing.T, e *Env, src string) *relation.Relation {
+	t.Helper()
+	s, err := parser.ParseSetExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out, err := e.SetExpr(s, nil)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return out
+}
+
+func TestSelection(t *testing.T) {
+	got := evalSet(t, env(t), `{EACH r IN Infront: r.front = "table"}`)
+	if got.Len() != 1 || !got.Contains(value.NewTuple(value.Str("table"), value.Str("chair"))) {
+		t.Errorf("selection: %s", got)
+	}
+}
+
+func TestJoinWithTargetList(t *testing.T) {
+	got := evalSet(t, env(t),
+		`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+	want := []value.Tuple{
+		value.NewTuple(value.Str("vase"), value.Str("chair")),
+		value.NewTuple(value.Str("table"), value.Str("door")),
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("join: %s", got)
+	}
+	for _, w := range want {
+		if !got.Contains(w) {
+			t.Errorf("missing %s in %s", w, got)
+		}
+	}
+}
+
+func TestUnionOfBranches(t *testing.T) {
+	got := evalSet(t, env(t), `{EACH r IN Infront: r.front = "vase", EACH r IN Infront: r.front = "chair"}`)
+	if got.Len() != 2 {
+		t.Errorf("union: %s", got)
+	}
+}
+
+func TestLiteralBranches(t *testing.T) {
+	got := evalSet(t, env(t), `{<"a","b">, <"a","b">, <"c","d">}`)
+	if got.Len() != 2 {
+		t.Errorf("literal set semantics: %s", got)
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	e := env(t)
+	// Referential integrity shape: both ends known objects.
+	got := evalSet(t, e, `{EACH r IN Infront:
+		SOME a IN Objects (r.front = a.part) AND SOME b IN Objects (r.back = b.part)}`)
+	// chair->door fails (door not an object).
+	if got.Len() != 2 {
+		t.Errorf("SOME: %s", got)
+	}
+	// ALL over an empty range is true.
+	e.Rels["Empty"] = relation.New(objT)
+	got2 := evalSet(t, e, `{EACH r IN Infront: ALL x IN Empty (x.part = "nope")}`)
+	if got2.Len() != 3 {
+		t.Errorf("ALL over empty: %s", got2)
+	}
+}
+
+func TestMembership(t *testing.T) {
+	e := env(t)
+	got := evalSet(t, e, `{EACH r IN Infront: NOT (<r.back, r.front> IN Infront)}`)
+	if got.Len() != 3 {
+		t.Errorf("tuple membership: %s", got)
+	}
+	e.Rels["Copy"] = e.Rels["Infront"]
+	got2 := evalSet(t, e, `{EACH r IN Infront: r IN Copy}`)
+	if got2.Len() != 3 {
+		t.Errorf("variable membership: %s", got2)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	numT := schema.RelationType{Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "n", Type: schema.IntType()}}}}
+	e := NewEnv()
+	e.Rels["Nums"] = relation.MustFromTuples(numT,
+		value.NewTuple(value.Int(1)), value.NewTuple(value.Int(2)),
+		value.NewTuple(value.Int(3)), value.NewTuple(value.Int(4)))
+	got := evalSet(t, e, `{EACH r IN Nums: r.n MOD 2 = 0}`)
+	if got.Len() != 2 {
+		t.Errorf("MOD: %s", got)
+	}
+	got2 := evalSet(t, e, `{EACH r IN Nums: SOME s IN Nums (r.n = s.n + 1)}`)
+	if got2.Len() != 3 {
+		t.Errorf("s.n+1: %s", got2)
+	}
+	// Division by zero is a runtime error.
+	s, _ := parser.ParseSetExpr(`{EACH r IN Nums: r.n DIV 0 = 1}`)
+	if _, err := e.SetExpr(s, nil); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division by zero, got %v", err)
+	}
+}
+
+func TestNestedRangeExpression(t *testing.T) {
+	// Range nesting of [JaKo 83]: N1's right-hand side evaluates directly.
+	got := evalSet(t, env(t),
+		`{EACH r IN {EACH s IN Infront: s.front = "vase"}: TRUE}`)
+	if got.Len() != 1 {
+		t.Errorf("nested range: %s", got)
+	}
+}
+
+func TestSelectorApplication(t *testing.T) {
+	e := env(t)
+	m, err := parser.ParseModule(`
+MODULE m;
+SELECTOR hidden_by (Obj: STRING) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+END m.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range m.Decls {
+		if sd, ok := d.(*ast.SelectorDecl); ok {
+			e.Selectors[sd.Name] = sd
+		}
+	}
+	r, err := parser.ParseRange(`Infront[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Range(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("selector: %s", got)
+	}
+	// Wrong arity is an error.
+	r2, _ := parser.ParseRange(`Infront[hidden_by]`)
+	if _, err := e.Range(r2); err == nil {
+		t.Error("missing selector argument must fail")
+	}
+}
+
+func TestErrorsSurfacePosition(t *testing.T) {
+	e := env(t)
+	for _, src := range []string{
+		`{EACH r IN Nowhere: TRUE}`,
+		`{EACH r IN Infront: r.nope = "x"}`,
+		`{EACH r IN Infront: r.front = 1}`,
+		`{EACH r IN Infront, EACH r IN Infront: TRUE}`,
+	} {
+		s, err := parser.ParseSetExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := e.SetExpr(s, nil); err == nil {
+			t.Errorf("eval %q: expected error", src)
+		}
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	e := env(t)
+	s, _ := parser.ParseSetExpr(`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+	rt, err := e.InferType(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Element.Arity() != 2 || rt.Element.Attrs[0].Name != "front" || rt.Element.Attrs[1].Name != "back" {
+		t.Errorf("inferred %s", rt.Element)
+	}
+	// Incompatible branches are rejected.
+	s2, _ := parser.ParseSetExpr(`{EACH r IN Infront: TRUE, EACH o IN Objects: TRUE}`)
+	e.Rels["Objects2"] = e.Rels["Objects"]
+	if _, err := e.InferType(s2); err == nil {
+		t.Error("arity-incompatible branches must fail inference")
+	}
+}
+
+func TestIndexPlanMatchesNaive(t *testing.T) {
+	// The equi-join planner must not change results: compare the indexed
+	// join against a full cross-product filter on a larger relation.
+	e := NewEnv()
+	rel := relation.New(infrontT)
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for i, x := range names {
+		for j, y := range names {
+			if (i+j)%3 == 0 {
+				rel.Add(value.NewTuple(value.Str(x), value.Str(y)))
+			}
+		}
+	}
+	e.Rels["R"] = rel
+	joined := evalSet(t, e, `{<f.front, b.back> OF EACH f IN R, EACH b IN R: f.back = b.front}`)
+	// Reference: nested loops in Go.
+	want := relation.New(infrontT)
+	rel.Each(func(f value.Tuple) bool {
+		rel.Each(func(b value.Tuple) bool {
+			if f[1] == b[0] {
+				want.Add(value.NewTuple(f[0], b[1]))
+			}
+			return true
+		})
+		return true
+	})
+	if !joined.Equal(want) {
+		t.Errorf("indexed join %d tuples, reference %d", joined.Len(), want.Len())
+	}
+}
+
+func TestEvalWithDeclaredResultType(t *testing.T) {
+	e := env(t)
+	aheadT := schema.RelationType{Name: "aheadrel",
+		Element: schema.RecordType{Attrs: []schema.Attribute{
+			{Name: "head", Type: partT}, {Name: "tail", Type: partT}}}}
+	s, _ := parser.ParseSetExpr(`{EACH r IN Infront: TRUE}`)
+	got, err := e.SetExpr(s, &aheadT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type().Element.Attrs[0].Name != "head" {
+		t.Errorf("declared result type not used: %s", got.Type())
+	}
+}

@@ -1,0 +1,121 @@
+package eval
+
+// Type inference for set expressions whose result type is not declared (SHOW
+// statements and ad-hoc queries). Constructor bodies always carry a declared
+// result type, so inference here follows the paper's positional typing: the
+// first branch fixes the element type, later branches must be positionally
+// compatible (section 3.1's ahead constructor relies on exactly this rule).
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// InferType computes the result relation type of a set expression. Ranges
+// needed for inference are materialized (and memoized, so the subsequent
+// evaluation does not pay twice).
+func (e *Env) InferType(s *ast.SetExpr) (schema.RelationType, error) {
+	if len(s.Branches) == 0 {
+		return schema.RelationType{}, fmt.Errorf("%s: cannot infer type of empty set expression", s.Pos)
+	}
+	first, err := e.inferBranch(&s.Branches[0])
+	if err != nil {
+		return schema.RelationType{}, err
+	}
+	rt := schema.RelationType{Element: first}
+	for i := 1; i < len(s.Branches); i++ {
+		bt, err := e.inferBranch(&s.Branches[i])
+		if err != nil {
+			return schema.RelationType{}, err
+		}
+		if !bt.CompatibleWith(first) {
+			return schema.RelationType{}, fmt.Errorf(
+				"%s: branch %d yields %s, incompatible with first branch %s",
+				s.Branches[i].Pos, i+1, bt, first)
+		}
+	}
+	return rt, nil
+}
+
+func (e *Env) inferBranch(br *ast.Branch) (schema.RecordType, error) {
+	if br.Literal != nil {
+		return e.inferTerms(br, br.Literal)
+	}
+	if br.Target == nil {
+		rel, err := e.Range(br.Binds[0].Range)
+		if err != nil {
+			return schema.RecordType{}, err
+		}
+		return rel.Type().Element, nil
+	}
+	return e.inferTerms(br, br.Target)
+}
+
+func (e *Env) inferTerms(br *ast.Branch, terms []ast.Term) (schema.RecordType, error) {
+	attrs := make([]schema.Attribute, len(terms))
+	used := make(map[string]bool, len(terms))
+	for i, tm := range terms {
+		st, name, err := e.inferTerm(br, tm)
+		if err != nil {
+			return schema.RecordType{}, err
+		}
+		if name == "" {
+			name = fmt.Sprintf("a%d", i+1)
+		}
+		for used[name] {
+			name = fmt.Sprintf("%s_%d", name, i+1)
+		}
+		used[name] = true
+		attrs[i] = schema.Attribute{Name: name, Type: st}
+	}
+	return schema.RecordType{Attrs: attrs}, nil
+}
+
+func (e *Env) inferTerm(br *ast.Branch, tm ast.Term) (schema.ScalarType, string, error) {
+	switch u := tm.(type) {
+	case ast.Const:
+		return scalarTypeOf(u.Val), "", nil
+	case ast.Param:
+		v, ok := e.Scalars[u.Name]
+		if !ok {
+			return schema.ScalarType{}, "", fmt.Errorf("%s: unbound scalar parameter %q", u.Pos, u.Name)
+		}
+		return scalarTypeOf(v), u.Name, nil
+	case ast.Arith:
+		return schema.IntType(), "", nil
+	case ast.Field:
+		for _, bd := range br.Binds {
+			if bd.Var != u.Var {
+				continue
+			}
+			rel, err := e.Range(bd.Range)
+			if err != nil {
+				return schema.ScalarType{}, "", err
+			}
+			elem := rel.Type().Element
+			idx := elem.IndexOf(u.Attr)
+			if idx < 0 {
+				return schema.ScalarType{}, "", fmt.Errorf(
+					"%s: variable %q has no attribute %q (type %s)", u.Pos, u.Var, u.Attr, elem)
+			}
+			return elem.Attrs[idx].Type, u.Attr, nil
+		}
+		return schema.ScalarType{}, "", fmt.Errorf("%s: target references unbound variable %q", u.Pos, u.Var)
+	default:
+		return schema.ScalarType{}, "", fmt.Errorf("eval: unknown term %T in target", tm)
+	}
+}
+
+func scalarTypeOf(v value.Value) schema.ScalarType {
+	switch v.Kind() {
+	case value.KindInt:
+		return schema.IntType()
+	case value.KindString:
+		return schema.StringType()
+	default:
+		return schema.BoolType()
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The experiment suite is exercised end to end with small workloads: every
+// experiment must run cleanly and report the paper's qualitative shape.
+
+func TestE1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintE1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "false") {
+		t.Errorf("E1 has a failing semantic check:\n%s", buf.String())
+	}
+}
+
+func TestE2ShapeAndAgreement(t *testing.T) {
+	rows, err := RunE2([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NaiveRounds != r.SemiRounds {
+			t.Errorf("%s n=%d: rounds differ (%d vs %d)", r.Shape, r.N, r.NaiveRounds, r.SemiRounds)
+		}
+		if r.Shape == "chain" && r.NaiveRounds != r.N+1 {
+			t.Errorf("chain n=%d: rounds %d, want diameter+1 = %d", r.N, r.NaiveRounds, r.N+1)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	rows, err := RunE3([][2]int{{2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Instances != 2 {
+		t.Errorf("mutual recursion must ground 2 instances, got %d", rows[0].Instances)
+	}
+	if rows[0].Ahead <= rows[0].Infront {
+		t.Errorf("ahead must strictly extend Infront: %d vs %d", rows[0].Ahead, rows[0].Infront)
+	}
+}
+
+func TestE4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintE4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"strict compiler rejects nonsense: true",
+		"oscillates with period 2",
+		"{<0>, <2>, <4>, <6>}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E4 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestE5RandomAgreement(t *testing.T) {
+	agree, total, err := RunE5(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agree != total || total == 0 {
+		t.Errorf("E5: %d/%d goals agree", agree, total)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	rows, err := RunE6(map[string][]workload.Edge{
+		"chain-16": workload.Chain(16),
+		"cycle-8":  workload.Cycle(8),
+	}, 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The headline claim: set-oriented semi-naive beats the naive
+		// REPEAT loop and the tuple-at-a-time tabled engine.
+		if r.SemiTime > r.TabledTime {
+			t.Errorf("%s: semi-naive (%v) slower than tabled SLD (%v)", r.Workload, r.SemiTime, r.TabledTime)
+		}
+		if r.Workload == "cycle-8" && r.SLDFailed == "" {
+			t.Errorf("pure SLD must fail on cyclic data")
+		}
+		if r.Workload == "chain-16" && r.SLDFailed != "" {
+			t.Errorf("pure SLD should finish on an acyclic chain: %s", r.SLDFailed)
+		}
+	}
+}
+
+func TestE7ShapeAndCorrectness(t *testing.T) {
+	rows, err := RunE7(map[string]E7Workload{
+		"chain-64": {Edges: workload.Chain(64), Source: 56},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.MagicSize >= r.FullTuples {
+		t.Errorf("magic must restrict the computed tuples: %d vs %d", r.MagicSize, r.FullTuples)
+	}
+	if r.Selected != 8 {
+		t.Errorf("answer count: %d, want 8", r.Selected)
+	}
+}
+
+func TestE8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintE8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"recursive cycles", "ahead", "above", "positivity"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E8 output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package fixpoint implements the least-fixpoint iteration strategies of
+// section 3 of the paper over systems of mutually recursive relation-valued
+// equations
+//
+//	apply_i^(k+1) = g_i(apply_0^k, ..., apply_l^k),   apply_i^0 = {}
+//
+// whose limits define the values of constructed relations (section 3.2,
+// citing [Tars 55] and [AhUl 79]). Two strategies are provided:
+//
+//   - Naive: the paper's REPEAT ... UNTIL Ahead = Oldahead loop, recomputing
+//     every equation from the full previous state each round. For monotonic
+//     systems the state grows to the least fixpoint; for non-monotonic
+//     systems (admitted only when Options.AllowNonMonotonic is set, cf. the
+//     strange example of section 3.3) the iteration may still converge, and
+//     oscillation (the nonsense example) is detected by state fingerprinting.
+//
+//   - SemiNaive: the differential evaluation used by deductive databases;
+//     correct only for monotonic systems, which the positivity constraint of
+//     section 3.3 guarantees syntactically.
+package fixpoint
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Evaluator abstracts one system of equations. Indices 0..N()-1 identify the
+// equations (constructor application instances in package core).
+type Evaluator interface {
+	// N returns the number of equations in the system.
+	N() int
+	// NewRelation returns a fresh empty relation of equation i's result type.
+	NewRelation(i int) *relation.Relation
+	// EvalFull computes g_i over the full current state.
+	EvalFull(i int, cur []*relation.Relation) (*relation.Relation, error)
+	// EvalIncrement computes a superset of the new tuples derivable for
+	// equation i when the state grew by delta (per equation); it may also
+	// return already-known tuples. Used by SemiNaive only.
+	EvalIncrement(i int, cur, delta []*relation.Relation) (*relation.Relation, error)
+}
+
+// Options bounds and configures an iteration.
+type Options struct {
+	// MaxRounds caps iteration rounds; 0 means no explicit bound beyond
+	// oscillation detection. The paper's positivity constraint guarantees
+	// termination, so the bound exists for the non-monotonic escape hatch.
+	MaxRounds int
+	// AllowNonMonotonic permits Naive iteration over systems that may
+	// shrink between rounds (section 3.3's strange constructor). When
+	// false, a shrinking state is reported as an error.
+	AllowNonMonotonic bool
+}
+
+// Stats reports the work done by an iteration.
+type Stats struct {
+	Rounds       int // iterations of the outer loop
+	Evaluations  int // equation evaluations (full or incremental)
+	TuplesFinal  int // total tuples in the final state
+	MaxDeltaSize int // largest per-round delta (SemiNaive only)
+}
+
+// OscillationError reports a non-converging non-monotonic iteration: the
+// state revisited an earlier configuration without reaching a fixpoint, as in
+// the nonsense constructor of section 3.3 whose iteration alternates
+// {} -> Rel -> {} -> Rel -> ...
+type OscillationError struct {
+	Period int // rounds between the repeated states
+	Rounds int // rounds executed before detection
+}
+
+// Error implements error.
+func (e *OscillationError) Error() string {
+	return fmt.Sprintf("fixpoint: iteration oscillates with period %d (detected after %d rounds); no limit exists",
+		e.Period, e.Rounds)
+}
+
+// NonMonotonicError reports a shrinking state when AllowNonMonotonic is off.
+type NonMonotonicError struct {
+	Equation int
+	Round    int
+}
+
+// Error implements error.
+func (e *NonMonotonicError) Error() string {
+	return fmt.Sprintf("fixpoint: equation %d shrank in round %d but the system was declared monotonic",
+		e.Equation, e.Round)
+}
+
+// BoundExceededError reports that MaxRounds was hit before convergence.
+type BoundExceededError struct {
+	MaxRounds int
+}
+
+// Error implements error.
+func (e *BoundExceededError) Error() string {
+	return fmt.Sprintf("fixpoint: no convergence within %d rounds", e.MaxRounds)
+}
+
+// Naive iterates the full system until two successive states are equal —
+// the executable form of the REPEAT loops in section 3.1.
+func Naive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) {
+	n := ev.N()
+	cur := make([]*relation.Relation, n)
+	for i := 0; i < n; i++ {
+		cur[i] = ev.NewRelation(i)
+	}
+	var stats Stats
+	seen := map[string]int{fingerprintState(cur): 0}
+
+	for {
+		if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
+			return cur, stats, &BoundExceededError{MaxRounds: opts.MaxRounds}
+		}
+		stats.Rounds++
+		next := make([]*relation.Relation, n)
+		changed := false
+		for i := 0; i < n; i++ {
+			out, err := ev.EvalFull(i, cur)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Evaluations++
+			if !out.Equal(cur[i]) {
+				changed = true
+				if !opts.AllowNonMonotonic && cur[i].Difference(out).Len() > 0 {
+					// Some previously derived tuple vanished: g is not
+					// monotonic although it was declared to be.
+					return nil, stats, &NonMonotonicError{Equation: i, Round: stats.Rounds}
+				}
+			}
+			next[i] = out
+		}
+		if !changed {
+			stats.TuplesFinal = totalLen(cur)
+			return cur, stats, nil
+		}
+		cur = next
+		fp := fingerprintState(cur)
+		if prev, ok := seen[fp]; ok {
+			return nil, stats, &OscillationError{Period: stats.Rounds - prev, Rounds: stats.Rounds}
+		}
+		seen[fp] = stats.Rounds
+	}
+}
+
+// SemiNaive iterates differentially: after seeding with g_i({}), each round
+// derives new tuples only from the previous round's deltas. The system must
+// be monotonic (positivity constraint, section 3.3).
+func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) {
+	n := ev.N()
+	cur := make([]*relation.Relation, n)
+	delta := make([]*relation.Relation, n)
+	empty := make([]*relation.Relation, n)
+	var stats Stats
+	for i := 0; i < n; i++ {
+		empty[i] = ev.NewRelation(i)
+	}
+	// Round 0: g_i over the empty state.
+	stats.Rounds++
+	for i := 0; i < n; i++ {
+		out, err := ev.EvalFull(i, empty)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Evaluations++
+		cur[i] = out
+		delta[i] = out.Clone()
+		if out.Len() > stats.MaxDeltaSize {
+			stats.MaxDeltaSize = out.Len()
+		}
+	}
+
+	for {
+		quiet := true
+		for i := 0; i < n; i++ {
+			if delta[i].Len() > 0 {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			stats.TuplesFinal = totalLen(cur)
+			return cur, stats, nil
+		}
+		if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
+			return cur, stats, &BoundExceededError{MaxRounds: opts.MaxRounds}
+		}
+		stats.Rounds++
+		next := make([]*relation.Relation, n)
+		for i := 0; i < n; i++ {
+			out, err := ev.EvalIncrement(i, cur, delta)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Evaluations++
+			next[i] = out.Difference(cur[i])
+		}
+		for i := 0; i < n; i++ {
+			cur[i].UnionInto(next[i])
+			delta[i] = next[i]
+			if next[i].Len() > stats.MaxDeltaSize {
+				stats.MaxDeltaSize = next[i].Len()
+			}
+		}
+	}
+}
+
+func totalLen(rels []*relation.Relation) int {
+	total := 0
+	for _, r := range rels {
+		total += r.Len()
+	}
+	return total
+}
+
+// fingerprintState hashes the whole system state, order-independently per
+// relation, for oscillation detection.
+func fingerprintState(rels []*relation.Relation) string {
+	h := sha256.New()
+	for _, r := range rels {
+		h.Write([]byte{0xfe})
+		h.Write([]byte(Fingerprint(r)))
+	}
+	return string(h.Sum(nil))
+}
+
+// Fingerprint returns a content hash of a relation (order-independent).
+// Exposed for package core's application-instance identity keys.
+func Fingerprint(r *relation.Relation) string {
+	keys := make([]string, 0, r.Len())
+	r.Each(func(t value.Tuple) bool {
+		keys = append(keys, t.Key())
+		return true
+	})
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0xff})
+	}
+	return string(h.Sum(nil))
+}

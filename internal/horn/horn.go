@@ -1,0 +1,448 @@
+// Package horn implements the expressiveness lemma of section 3.4 of the
+// paper — "the constructor mechanism is as powerful as function-free PROLOG
+// without cut, fail, and negation" — as two executable translations:
+//
+//   - FromApplication translates a constructor application Actrel{c(...)}
+//     into a set of function-free Horn clauses over symbolic base-relation
+//     predicates (the proof direction "fixed point operator over a positive
+//     existential query = Horn clauses", citing [ChHa 82]).
+//
+//   - ToConstructors (see datalog.go) translates a Datalog program into
+//     constructor declarations, using the paper's observation that a
+//     constructor based on a join of several base relations can "start with
+//     an empty relation" and take the base relations as parameters.
+//
+// The two directions give an executable equivalence harness: any function-
+// free positive program can be run both through the proof-oriented engine
+// (package prolog) and the set-oriented constructor engine (package core),
+// and the answers must agree.
+package horn
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/prolog"
+	"repro/internal/schema"
+	"repro/internal/typecheck"
+	"repro/internal/value"
+)
+
+// SymArg is a symbolic actual argument for FromApplication: either a scalar
+// constant or the name of a base predicate.
+type SymArg struct {
+	IsScalar bool
+	Scalar   value.Value
+	Pred     string
+}
+
+// RelPred names a base predicate together with its element type (needed to
+// map attribute names to argument positions).
+type RelPred struct {
+	Pred string
+	Elem schema.RecordType
+}
+
+// Translation is the result of FromApplication.
+type Translation struct {
+	// Rules are the derived clauses; base predicates remain free (facts are
+	// supplied by the caller, e.g. via FactsFromRelation).
+	Rules []prolog.Clause
+	// GoalPred names the predicate holding the root application's value.
+	GoalPred string
+	// Preds records the arity of every predicate mentioned.
+	Preds map[string]int
+}
+
+// FromApplication translates the application basePred{cons(args)} into Horn
+// clauses. Only the positive-existential equality fragment is translatable
+// (the fragment of the lemma): branches may use EACH bindings, AND, TRUE,
+// equality comparisons, SOME quantifiers, literal tuples, and constant
+// scalar parameters.
+func FromApplication(sigs map[string]*typecheck.ConstructorSig, cons string, base RelPred, args []SymArg) (*Translation, error) {
+	tr := &translator{sigs: sigs, done: make(map[string]string), preds: make(map[string]int)}
+	goal, err := tr.ground(cons, base, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Translation{Rules: tr.rules, GoalPred: goal, Preds: tr.preds}, nil
+}
+
+type translator struct {
+	sigs  map[string]*typecheck.ConstructorSig
+	rules []prolog.Clause
+	done  map[string]string // application key -> predicate name
+	preds map[string]int    // predicate -> arity
+}
+
+// boundRel is a formal relation name resolved to a predicate and its type.
+type boundRel struct {
+	pred string
+	elem schema.RecordType
+}
+
+func (tr *translator) ground(cons string, base RelPred, args []SymArg) (string, error) {
+	sig, ok := tr.sigs[cons]
+	if !ok {
+		return "", fmt.Errorf("horn: unknown constructor %q", cons)
+	}
+	decl := sig.Decl
+	if len(args) != len(sig.Params) {
+		return "", fmt.Errorf("horn: constructor %q expects %d argument(s), got %d",
+			cons, len(sig.Params), len(args))
+	}
+	key := cons + "@" + base.Pred
+	for _, a := range args {
+		if a.IsScalar {
+			key += "," + a.Scalar.String()
+		} else {
+			key += "," + a.Pred
+		}
+	}
+	if pred, exists := tr.done[key]; exists {
+		return pred, nil
+	}
+	pred := key
+	tr.done[key] = pred
+	tr.preds[pred] = sig.Result.Element.Arity()
+	tr.preds[base.Pred] = base.Elem.Arity()
+
+	relEnv := map[string]boundRel{decl.ForVar: {pred: base.Pred, elem: base.Elem}}
+	scalarEnv := map[string]value.Value{}
+	for i, p := range sig.Params {
+		if p.IsScalar {
+			if !args[i].IsScalar {
+				return "", fmt.Errorf("horn: argument %d of %q must be scalar", i+1, cons)
+			}
+			scalarEnv[p.Name] = args[i].Scalar
+		} else {
+			if args[i].IsScalar {
+				return "", fmt.Errorf("horn: argument %d of %q must be a predicate", i+1, cons)
+			}
+			relEnv[p.Name] = boundRel{pred: args[i].Pred, elem: p.Rel.Element}
+			tr.preds[args[i].Pred] = p.Rel.Element.Arity()
+		}
+	}
+
+	for bi := range decl.Body.Branches {
+		if err := tr.branch(pred, sig, &decl.Body.Branches[bi], relEnv, scalarEnv); err != nil {
+			return "", fmt.Errorf("horn: constructor %q branch %d: %w", cons, bi+1, err)
+		}
+	}
+	return pred, nil
+}
+
+// unionFind with optional constant per class.
+type unionFind struct {
+	parent []int
+	consts []*value.Value
+}
+
+func (u *unionFind) fresh() int {
+	u.parent = append(u.parent, len(u.parent))
+	u.consts = append(u.consts, nil)
+	return len(u.parent) - 1
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges classes; reports false on constant conflict.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return true
+	}
+	ca, cb := u.consts[ra], u.consts[rb]
+	if ca != nil && cb != nil && *ca != *cb {
+		return false
+	}
+	u.parent[rb] = ra
+	if ca == nil {
+		u.consts[ra] = cb
+	}
+	return true
+}
+
+// setConst binds a class to a constant; reports false on conflict.
+func (u *unionFind) setConst(x int, v value.Value) bool {
+	r := u.find(x)
+	if c := u.consts[r]; c != nil {
+		return *c == v
+	}
+	u.consts[r] = &v
+	return true
+}
+
+func (u *unionFind) term(x int) prolog.Term {
+	r := u.find(x)
+	if c := u.consts[r]; c != nil {
+		return prolog.C(*c)
+	}
+	return prolog.V(r)
+}
+
+// branchCtx accumulates one clause.
+type branchCtx struct {
+	tr        *translator
+	relEnv    map[string]boundRel
+	scalarEnv map[string]value.Value
+	varSlots  map[string][]int             // tuple var -> slot per attribute
+	varElem   map[string]schema.RecordType // tuple var -> element type
+	atoms     []pendingAtom
+	uf        *unionFind
+	failed    bool // branch predicate is constantly FALSE
+}
+
+type pendingAtom struct {
+	pred  string
+	slots []int
+}
+
+func (tr *translator) branch(headPred string, sig *typecheck.ConstructorSig, br *ast.Branch,
+	relEnv map[string]boundRel, scalarEnv map[string]value.Value) error {
+
+	if br.Literal != nil {
+		vals := make([]value.Value, len(br.Literal))
+		for i, t := range br.Literal {
+			c, ok := t.(ast.Const)
+			if !ok {
+				return fmt.Errorf("literal tuple with non-constant term %s", t)
+			}
+			vals[i] = c.Val
+		}
+		tr.rules = append(tr.rules, prolog.Fact(headPred, vals...))
+		return nil
+	}
+
+	ctx := &branchCtx{
+		tr: tr, relEnv: relEnv, scalarEnv: scalarEnv,
+		varSlots: make(map[string][]int),
+		varElem:  make(map[string]schema.RecordType),
+		uf:       &unionFind{},
+	}
+	for _, bd := range br.Binds {
+		if err := ctx.bind(bd.Var, bd.Range); err != nil {
+			return err
+		}
+	}
+	if br.Where != nil {
+		if err := ctx.pred(br.Where); err != nil {
+			return err
+		}
+	}
+	if ctx.failed {
+		return nil // branch contributes nothing
+	}
+
+	var headArgs []prolog.Term
+	if br.Target == nil {
+		for _, s := range ctx.varSlots[br.Binds[0].Var] {
+			headArgs = append(headArgs, ctx.uf.term(s))
+		}
+	} else {
+		for _, t := range br.Target {
+			arg, err := ctx.term(t)
+			if err != nil {
+				return err
+			}
+			if arg.IsVar() {
+				arg = ctx.uf.term(arg.Var)
+			}
+			headArgs = append(headArgs, arg)
+		}
+	}
+	if len(headArgs) != sig.Result.Element.Arity() {
+		return fmt.Errorf("branch yields arity %d, result type has arity %d",
+			len(headArgs), sig.Result.Element.Arity())
+	}
+
+	clause := prolog.Clause{Head: prolog.Atom{Pred: headPred, Args: headArgs}}
+	for _, pa := range ctx.atoms {
+		atomArgs := make([]prolog.Term, len(pa.slots))
+		for i, s := range pa.slots {
+			atomArgs[i] = ctx.uf.term(s)
+		}
+		clause.Body = append(clause.Body, prolog.Atom{Pred: pa.pred, Args: atomArgs})
+	}
+	tr.rules = append(tr.rules, renumber(clause))
+	return nil
+}
+
+// bind introduces a tuple variable over a range as a body atom with fresh
+// slots per attribute position.
+func (c *branchCtx) bind(v string, r *ast.Range) error {
+	if _, dup := c.varSlots[v]; dup {
+		return fmt.Errorf("duplicate tuple variable %q", v)
+	}
+	br, err := c.rangeRel(r)
+	if err != nil {
+		return err
+	}
+	slots := make([]int, br.elem.Arity())
+	for i := range slots {
+		slots[i] = c.uf.fresh()
+	}
+	c.varSlots[v] = slots
+	c.varElem[v] = br.elem
+	c.atoms = append(c.atoms, pendingAtom{pred: br.pred, slots: slots})
+	return nil
+}
+
+// rangeRel resolves a body range to a (predicate, element type) pair,
+// grounding constructor applications recursively.
+func (c *branchCtx) rangeRel(r *ast.Range) (boundRel, error) {
+	if r.Sub != nil {
+		return boundRel{}, fmt.Errorf("nested set expressions are not translatable to Horn clauses")
+	}
+	cur, ok := c.relEnv[r.Var]
+	if !ok {
+		return boundRel{}, fmt.Errorf("relation %q is not a formal of this constructor; only formals are translatable", r.Var)
+	}
+	for i := range r.Suffixes {
+		s := &r.Suffixes[i]
+		if s.Kind == ast.SuffixSelector {
+			return boundRel{}, fmt.Errorf("selector %q inside a translatable constructor body is not supported", s.Name)
+		}
+		args := make([]SymArg, len(s.Args))
+		for j, a := range s.Args {
+			switch {
+			case a.Scalar != nil:
+				cst, ok := a.Scalar.(ast.Const)
+				if !ok {
+					return boundRel{}, fmt.Errorf("non-constant scalar argument %s", a.Scalar)
+				}
+				args[j] = SymArg{IsScalar: true, Scalar: cst.Val}
+			case a.Rel != nil && a.Rel.Sub == nil && len(a.Rel.Suffixes) == 0:
+				if v, okS := c.scalarEnv[a.Rel.Var]; okS {
+					args[j] = SymArg{IsScalar: true, Scalar: v}
+					continue
+				}
+				p, ok := c.relEnv[a.Rel.Var]
+				if !ok {
+					return boundRel{}, fmt.Errorf("argument relation %q is not a formal", a.Rel.Var)
+				}
+				args[j] = SymArg{Pred: p.pred}
+			default:
+				return boundRel{}, fmt.Errorf("complex constructor argument %s is not translatable", a)
+			}
+		}
+		pred, err := c.tr.ground(s.Name, RelPred{Pred: cur.pred, Elem: cur.elem}, args)
+		if err != nil {
+			return boundRel{}, err
+		}
+		childSig := c.tr.sigs[s.Name]
+		cur = boundRel{pred: pred, elem: childSig.Result.Element}
+	}
+	return cur, nil
+}
+
+func (c *branchCtx) pred(p ast.Pred) error {
+	switch q := p.(type) {
+	case ast.BoolLit:
+		if !q.Val {
+			c.failed = true
+		}
+		return nil
+	case ast.And:
+		if err := c.pred(q.L); err != nil {
+			return err
+		}
+		return c.pred(q.R)
+	case ast.Cmp:
+		if q.Op != ast.OpEq {
+			return fmt.Errorf("comparison %s is outside the Horn-translatable fragment", q.Op)
+		}
+		lt, err := c.term(q.L)
+		if err != nil {
+			return err
+		}
+		rt, err := c.term(q.R)
+		if err != nil {
+			return err
+		}
+		ok := true
+		switch {
+		case lt.IsVar() && rt.IsVar():
+			ok = c.uf.union(lt.Var, rt.Var)
+		case lt.IsVar():
+			ok = c.uf.setConst(lt.Var, rt.Con)
+		case rt.IsVar():
+			ok = c.uf.setConst(rt.Var, lt.Con)
+		default:
+			ok = lt.Con == rt.Con
+		}
+		if !ok {
+			c.failed = true
+		}
+		return nil
+	case ast.Quant:
+		if q.All {
+			return fmt.Errorf("universal quantification is outside the Horn-translatable fragment")
+		}
+		if err := c.bind(q.Var, q.Range); err != nil {
+			return err
+		}
+		return c.pred(q.Body)
+	default:
+		return fmt.Errorf("predicate %s is outside the Horn-translatable fragment", p)
+	}
+}
+
+func (c *branchCtx) term(t ast.Term) (prolog.Term, error) {
+	switch u := t.(type) {
+	case ast.Const:
+		return prolog.C(u.Val), nil
+	case ast.Param:
+		if v, ok := c.scalarEnv[u.Name]; ok {
+			return prolog.C(v), nil
+		}
+		return prolog.Term{}, fmt.Errorf("unbound scalar %q", u.Name)
+	case ast.Field:
+		elem, ok := c.varElem[u.Var]
+		if !ok {
+			return prolog.Term{}, fmt.Errorf("unbound tuple variable %q", u.Var)
+		}
+		pos := elem.IndexOf(u.Attr)
+		if pos < 0 {
+			return prolog.Term{}, fmt.Errorf("variable %q has no attribute %q", u.Var, u.Attr)
+		}
+		return prolog.V(c.varSlots[u.Var][pos]), nil
+	default:
+		return prolog.Term{}, fmt.Errorf("term %s is outside the Horn-translatable fragment", t)
+	}
+}
+
+// renumber maps variable ids in a clause to a dense 0..n-1 range.
+func renumber(c prolog.Clause) prolog.Clause {
+	mapping := make(map[int]int)
+	remap := func(a Atom) Atom {
+		args := make([]prolog.Term, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				id, ok := mapping[t.Var]
+				if !ok {
+					id = len(mapping)
+					mapping[t.Var] = id
+				}
+				args[i] = prolog.V(id)
+			} else {
+				args[i] = t
+			}
+		}
+		return Atom{Pred: a.Pred, Args: args}
+	}
+	out := prolog.Clause{Head: remap(c.Head)}
+	for _, a := range c.Body {
+		out.Body = append(out.Body, remap(a))
+	}
+	return out
+}
+
+// Atom aliases prolog.Atom for brevity in this package.
+type Atom = prolog.Atom

@@ -1,0 +1,352 @@
+// Package lexer tokenizes the DBPL subset used by this reproduction. The
+// lexical conventions follow the paper's MODULA-2 heritage: keywords are
+// upper-case, (* ... *) comments nest, '#' is the inequality operator, and
+// '..' forms subrange bounds.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind is a token kind.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+
+	// Keywords.
+	KwMODULE
+	KwTYPE
+	KwVAR
+	KwRELATION
+	KwRECORD
+	KwEND
+	KwOF
+	KwRANGE
+	KwSELECTOR
+	KwCONSTRUCTOR
+	KwFOR
+	KwBEGIN
+	KwEACH
+	KwIN
+	KwSOME
+	KwALL
+	KwNOT
+	KwAND
+	KwOR
+	KwTRUE
+	KwFALSE
+	KwDIV
+	KwMOD
+	KwSHOW
+	KwINTEGER
+	KwCARDINAL
+	KwSTRINGT
+	KwBOOLEAN
+
+	// Punctuation and operators.
+	Semi   // ;
+	Colon  // :
+	Comma  // ,
+	Dot    // .
+	DotDot // ..
+	Assign // :=
+	Eq     // =
+	Ne     // #
+	Lt     // <
+	Le     // <=
+	Gt     // >
+	Ge     // >=
+	LParen // (
+	RParen // )
+	LBrack // [
+	RBrack // ]
+	LBrace // {
+	RBrace // }
+	Plus   // +
+	Minus  // -
+	Star   // *
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", IDENT: "identifier", INT: "integer", STRING: "string",
+	KwMODULE: "MODULE", KwTYPE: "TYPE", KwVAR: "VAR", KwRELATION: "RELATION",
+	KwRECORD: "RECORD", KwEND: "END", KwOF: "OF", KwRANGE: "RANGE",
+	KwSELECTOR: "SELECTOR", KwCONSTRUCTOR: "CONSTRUCTOR", KwFOR: "FOR",
+	KwBEGIN: "BEGIN", KwEACH: "EACH", KwIN: "IN", KwSOME: "SOME", KwALL: "ALL",
+	KwNOT: "NOT", KwAND: "AND", KwOR: "OR", KwTRUE: "TRUE", KwFALSE: "FALSE",
+	KwDIV: "DIV", KwMOD: "MOD", KwSHOW: "SHOW", KwINTEGER: "INTEGER",
+	KwCARDINAL: "CARDINAL", KwSTRINGT: "STRING", KwBOOLEAN: "BOOLEAN",
+	Semi: ";", Colon: ":", Comma: ",", Dot: ".", DotDot: "..", Assign: ":=",
+	Eq: "=", Ne: "#", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	LParen: "(", RParen: ")", LBrack: "[", RBrack: "]", LBrace: "{", RBrace: "}",
+	Plus: "+", Minus: "-", Star: "*",
+}
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"MODULE": KwMODULE, "TYPE": KwTYPE, "VAR": KwVAR, "RELATION": KwRELATION,
+	"RECORD": KwRECORD, "END": KwEND, "OF": KwOF, "RANGE": KwRANGE,
+	"SELECTOR": KwSELECTOR, "CONSTRUCTOR": KwCONSTRUCTOR, "FOR": KwFOR,
+	"BEGIN": KwBEGIN, "EACH": KwEACH, "IN": KwIN, "SOME": KwSOME, "ALL": KwALL,
+	"NOT": KwNOT, "AND": KwAND, "OR": KwOR, "TRUE": KwTRUE, "FALSE": KwFALSE,
+	"DIV": KwDIV, "MOD": KwMOD, "SHOW": KwSHOW, "INTEGER": KwINTEGER,
+	"CARDINAL": KwCARDINAL, "STRING": KwSTRINGT, "BOOLEAN": KwBOOLEAN,
+}
+
+// Token is one lexical token with its position and decoded payload.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT; decoded value for STRING
+	Int  int64  // decoded value for INT
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+// Lexer scans DBPL source text.
+type Lexer struct {
+	src       []rune
+	pos       int
+	line, col int
+}
+
+// New creates a lexer over the source text.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens ending with EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpaceAndComments consumes whitespace and nesting (* ... *) comments.
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '(' && lx.peek2() == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			depth := 1
+			for depth > 0 {
+				if lx.pos >= len(lx.src) {
+					return &Error{Line: startLine, Col: startCol, Msg: "unterminated comment"}
+				}
+				if lx.peek() == '(' && lx.peek2() == '*' {
+					lx.advance()
+					lx.advance()
+					depth++
+				} else if lx.peek() == '*' && lx.peek2() == ')' {
+					lx.advance()
+					lx.advance()
+					depth--
+				} else {
+					lx.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	mk := func(k Kind) Token { return Token{Kind: k, Line: line, Col: col} }
+	if lx.pos >= len(lx.src) {
+		return mk(EOF), nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			r = lx.peek()
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				b.WriteRune(lx.advance())
+			} else {
+				break
+			}
+		}
+		word := b.String()
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Line: line, Col: col}, nil
+		}
+		return Token{Kind: IDENT, Text: word, Line: line, Col: col}, nil
+
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+		n, err := strconv.ParseInt(b.String(), 10, 64)
+		if err != nil {
+			return Token{}, &Error{Line: line, Col: col, Msg: "integer literal out of range"}
+		}
+		return Token{Kind: INT, Int: n, Line: line, Col: col}, nil
+
+	case r == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, &Error{Line: line, Col: col, Msg: "unterminated string literal"}
+			}
+			c := lx.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				return Token{}, &Error{Line: line, Col: col, Msg: "newline in string literal"}
+			}
+			b.WriteRune(c)
+		}
+		return Token{Kind: STRING, Text: b.String(), Line: line, Col: col}, nil
+	}
+
+	lx.advance()
+	switch r {
+	case ';':
+		return mk(Semi), nil
+	case ',':
+		return mk(Comma), nil
+	case '.':
+		if lx.peek() == '.' {
+			lx.advance()
+			return mk(DotDot), nil
+		}
+		return mk(Dot), nil
+	case ':':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(Assign), nil
+		}
+		return mk(Colon), nil
+	case '=':
+		return mk(Eq), nil
+	case '#':
+		return mk(Ne), nil
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(Le), nil
+		}
+		if lx.peek() == '>' {
+			lx.advance()
+			return mk(Ne), nil
+		}
+		return mk(Lt), nil
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(Ge), nil
+		}
+		return mk(Gt), nil
+	case '(':
+		return mk(LParen), nil
+	case ')':
+		return mk(RParen), nil
+	case '[':
+		return mk(LBrack), nil
+	case ']':
+		return mk(RBrack), nil
+	case '{':
+		return mk(LBrace), nil
+	case '}':
+		return mk(RBrace), nil
+	case '+':
+		return mk(Plus), nil
+	case '-':
+		return mk(Minus), nil
+	case '*':
+		return mk(Star), nil
+	}
+	return Token{}, lx.errf("unexpected character %q", r)
+}

@@ -1,0 +1,120 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("tokenize %q: %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestKeywordsVsIdentifiers(t *testing.T) {
+	toks, err := Tokenize("CONSTRUCTOR ahead Rel RELATION each EACH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwCONSTRUCTOR, IDENT, IDENT, KwRELATION, IDENT, KwEACH, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	// Keywords are case-sensitive (MODULA-2 style): 'each' is an ident.
+	if toks[4].Text != "each" {
+		t.Errorf("lower-case keyword must stay an identifier: %q", toks[4].Text)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, ":= : .. . <= < >= > = # <> ( ) [ ] { } + - * , ;")
+	want := []Kind{Assign, Colon, DotDot, Dot, Le, Lt, Ge, Gt, Eq, Ne, Ne,
+		LParen, RParen, LBrack, RBrack, LBrace, RBrace, Plus, Minus, Star,
+		Comma, Semi, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	toks, err := Tokenize(`42 "hello world" 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INT || toks[0].Int != 42 {
+		t.Errorf("int: %+v", toks[0])
+	}
+	if toks[1].Kind != STRING || toks[1].Text != "hello world" {
+		t.Errorf("string: %+v", toks[1])
+	}
+	if toks[2].Int != 0 {
+		t.Errorf("zero: %+v", toks[2])
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	got := kinds(t, "a (* outer (* inner *) still *) b")
+	want := []Kind{IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("comment stripping failed: %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := map[string]string{
+		`"unterminated`:   "unterminated string",
+		"(* unterminated": "unterminated comment",
+		"@":               "unexpected character",
+		"\"line\nbreak\"": "newline in string",
+	}
+	for src, frag := range cases {
+		_, err := Tokenize(src)
+		if err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("Tokenize(%q): %v does not mention %q", src, err, frag)
+		}
+	}
+}
+
+func TestTokenStringForDiagnostics(t *testing.T) {
+	toks, _ := Tokenize(`x 5 "s" ;`)
+	if !strings.Contains(toks[0].String(), "x") {
+		t.Errorf("ident diag: %s", toks[0])
+	}
+	if !strings.Contains(toks[1].String(), "5") {
+		t.Errorf("int diag: %s", toks[1])
+	}
+	if !strings.Contains(toks[3].String(), ";") {
+		t.Errorf("punct diag: %s", toks[3])
+	}
+}

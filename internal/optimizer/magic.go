@@ -1,0 +1,174 @@
+package optimizer
+
+// Bound-argument restriction for recursive constructors, realized as the
+// magic-sets transformation over the Horn translation of section 3.4.
+//
+// Section 4 observes that fully computing a constructed relation and then
+// testing pred(r) is the "easiest solution", while propagating constraints
+// into the definition "may considerably reduce query evaluation costs"; for
+// recursive cycles it points at compiled-recursion techniques ([HeNa 84],
+// capture rules [Ullm 84]). Magic sets is the canonical such technique: given
+// a query with some arguments bound to constants, the transformed program
+// restricts the fixpoint to tuples reachable from the bound constants.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/prolog"
+)
+
+// Adornment is a string of 'b'/'f' marking bound/free argument positions.
+type Adornment string
+
+// adorn computes the adornment of an atom given the set of bound variables.
+func adorn(a prolog.Atom, bound map[int]bool) Adornment {
+	var b strings.Builder
+	for _, t := range a.Args {
+		if !t.IsVar() || bound[t.Var] {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return Adornment(b.String())
+}
+
+// boundArgs returns the arguments at the adornment's bound positions.
+func boundArgs(a prolog.Atom, ad Adornment) []prolog.Term {
+	var out []prolog.Term
+	for i, c := range ad {
+		if c == 'b' {
+			out = append(out, a.Args[i])
+		}
+	}
+	return out
+}
+
+func adornedName(pred string, ad Adornment) string { return pred + "__" + string(ad) }
+func magicName(pred string, ad Adornment) string   { return "m__" + pred + "__" + string(ad) }
+
+// MagicResult is the output of MagicTransform.
+type MagicResult struct {
+	// Program holds the magic and modified rules plus the seed fact; the
+	// EDB facts of the original program must be added by the caller (or
+	// were already present and are carried over).
+	Program *prolog.Program
+	// Goal is the rewritten goal over the adorned predicate.
+	Goal prolog.Atom
+	// SeedPred is the magic predicate seeded with the query constants.
+	SeedPred string
+	// Adorned lists the (pred, adornment) pairs generated.
+	Adorned []string
+}
+
+// MagicTransform rewrites a Datalog program for a goal whose constant
+// arguments are treated as bound. Rules use a left-to-right sideways
+// information passing strategy, matching the evaluator's join order. EDB
+// facts of the input program are copied into the output program.
+func MagicTransform(prog *prolog.Program, goal prolog.Atom) (*MagicResult, error) {
+	if !prog.IsDerived(goal.Pred) {
+		return nil, fmt.Errorf("optimizer: goal %s is not a derived predicate", goal)
+	}
+	goalAd := adorn(goal, nil)
+
+	out := prolog.NewProgram()
+	// Carry EDB facts over.
+	for _, c := range prog.Clauses() {
+		if len(c.Body) == 0 && !prog.IsDerived(c.Head.Pred) {
+			out.Add(c)
+		}
+	}
+
+	type job struct {
+		pred string
+		ad   Adornment
+	}
+	doneJobs := make(map[job]bool)
+	var queue []job
+	enqueue := func(j job) {
+		if !doneJobs[j] {
+			doneJobs[j] = true
+			queue = append(queue, j)
+		}
+	}
+	enqueue(job{goal.Pred, goalAd})
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for _, rule := range prog.Clauses() {
+			if rule.Head.Pred != j.pred || len(rule.Body) == 0 {
+				continue
+			}
+			// Bound head variables per the adornment.
+			bound := make(map[int]bool)
+			for i, c := range j.ad {
+				if c == 'b' && rule.Head.Args[i].IsVar() {
+					bound[rule.Head.Args[i].Var] = true
+				}
+			}
+			magicHead := prolog.Atom{
+				Pred: magicName(j.pred, j.ad),
+				Args: boundArgs(rule.Head, j.ad),
+			}
+			// Modified rule body: magic guard + adorned body.
+			newBody := []prolog.Atom{magicHead}
+			var prefix []prolog.Atom // body atoms before the current one
+			for _, a := range rule.Body {
+				if prog.IsDerived(a.Pred) {
+					ad := adorn(a, bound)
+					enqueue(job{a.Pred, ad})
+					// Magic rule for this call site.
+					magicBody := append([]prolog.Atom{magicHead}, prefix...)
+					out.Add(prolog.Clause{
+						Head: prolog.Atom{Pred: magicName(a.Pred, ad), Args: boundArgs(a, ad)},
+						Body: magicBody,
+					})
+					newBody = append(newBody, prolog.Atom{Pred: adornedName(a.Pred, ad), Args: a.Args})
+				} else {
+					newBody = append(newBody, a)
+				}
+				prefix = append(prefix, newBody[len(newBody)-1])
+				for _, t := range a.Args {
+					if t.IsVar() {
+						bound[t.Var] = true
+					}
+				}
+			}
+			out.Add(prolog.Clause{
+				Head: prolog.Atom{Pred: adornedName(j.pred, j.ad), Args: rule.Head.Args},
+				Body: newBody,
+			})
+		}
+		// IDB ground facts become adorned facts guarded by nothing (they
+		// are cheap; the magic guard for facts is unnecessary).
+		for _, c := range prog.Clauses() {
+			if c.Head.Pred == j.pred && len(c.Body) == 0 {
+				out.Add(prolog.Clause{Head: prolog.Atom{
+					Pred: adornedName(j.pred, j.ad), Args: c.Head.Args}})
+			}
+		}
+	}
+
+	// Seed: the goal's constants.
+	seed := prolog.Clause{Head: prolog.Atom{
+		Pred: magicName(goal.Pred, goalAd),
+		Args: boundArgs(goal, goalAd),
+	}}
+	out.Add(seed)
+
+	var adorned []string
+	for j := range doneJobs {
+		adorned = append(adorned, adornedName(j.pred, j.ad))
+	}
+	sort.Strings(adorned)
+
+	return &MagicResult{
+		Program:  out,
+		Goal:     prolog.Atom{Pred: adornedName(goal.Pred, goalAd), Args: goal.Args},
+		SeedPred: magicName(goal.Pred, goalAd),
+		Adorned:  adorned,
+	}, nil
+}

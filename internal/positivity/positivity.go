@@ -1,0 +1,240 @@
+// Package positivity implements the positivity constraint of section 3.3 of
+// the paper, the syntactic criterion under which the DBPL compiler accepts
+// constructors containing negation and universal quantification:
+//
+//	Definition: a DBPL expression f(Rel_1, ..., Rel_n) satisfies the
+//	positivity constraint if each occurrence of a Rel_i appears under an
+//	even total number of negations (NOT) and universal quantifiers (ALL).
+//
+// A name appears under ALL if it occurs in the *body* of the quantifier, not
+// in its range expression; nesting accumulates. The paper's lemma (proved via
+// the one-sorted rewriting of range-coupled quantifiers and generalized
+// De Morgan laws, cf. [JaKo 83] and [ChHa 82]) states that positive
+// expressions are monotonic in all their arguments, which guarantees that the
+// fixpoint sequences of section 3.2 converge.
+//
+// The package also implements the rewriting used in the lemma's proof sketch:
+// ToNNF pushes negations inward, flipping quantifiers and applying the double
+// negation law, so tests can confirm that a positive expression rewrites to a
+// NOT-free (over the tracked names) normal form.
+package positivity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Occurrence records one use of a tracked relation name and the negation/
+// universal-quantification depth above it.
+type Occurrence struct {
+	Name  string
+	Depth int // total number of enclosing NOTs and ALLs
+	Pos   ast.Pos
+}
+
+// Even reports whether the occurrence satisfies the positivity constraint.
+func (o Occurrence) Even() bool { return o.Depth%2 == 0 }
+
+// Report is the outcome of a positivity analysis.
+type Report struct {
+	Occurrences []Occurrence
+	Violations  []Occurrence // odd-depth occurrences
+}
+
+// Positive reports whether every occurrence appears at even depth.
+func (r Report) Positive() bool { return len(r.Violations) == 0 }
+
+// Error returns nil for positive reports, or a descriptive error listing the
+// violating occurrences.
+func (r Report) Error() error {
+	if r.Positive() {
+		return nil
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = fmt.Sprintf("%s at %s (depth %d)", v.Name, v.Pos, v.Depth)
+	}
+	sort.Strings(parts)
+	return fmt.Errorf("positivity constraint violated: %s", strings.Join(parts, "; "))
+}
+
+// CheckSetExpr analyses a set expression, tracking occurrences of the given
+// relation names (nil tracked = track every name that occurs in a range).
+func CheckSetExpr(s *ast.SetExpr, tracked map[string]bool) Report {
+	var rep Report
+	walkSet(s, 0, tracked, &rep)
+	finish(&rep)
+	return rep
+}
+
+// CheckConstructor analyses a constructor body, tracking its base-relation
+// formal, its relation-typed formal parameters, and every constructed range
+// inside the body (the recursive occurrences). This is the check the paper's
+// compiler performs at the type-checking level (section 4).
+func CheckConstructor(d *ast.ConstructorDecl) Report {
+	tracked := map[string]bool{d.ForVar: true}
+	for _, p := range d.Params {
+		if _, ok := p.Type.(ast.NamedType); ok {
+			// Relation-typed vs scalar-typed formals cannot be separated
+			// syntactically here; tracking scalars is harmless since scalar
+			// parameters never occur as ranges.
+			tracked[p.Name] = true
+		}
+	}
+	return CheckSetExpr(d.Body, tracked)
+}
+
+// CheckPred analyses a bare predicate (selector bodies).
+func CheckPred(p ast.Pred, tracked map[string]bool) Report {
+	var rep Report
+	walkPred(p, 0, tracked, &rep)
+	finish(&rep)
+	return rep
+}
+
+func finish(rep *Report) {
+	for _, o := range rep.Occurrences {
+		if !o.Even() {
+			rep.Violations = append(rep.Violations, o)
+		}
+	}
+}
+
+func walkSet(s *ast.SetExpr, depth int, tracked map[string]bool, rep *Report) {
+	if s == nil {
+		return
+	}
+	for i := range s.Branches {
+		br := &s.Branches[i]
+		for j := range br.Binds {
+			walkRange(br.Binds[j].Range, depth, tracked, rep)
+		}
+		if br.Where != nil {
+			walkPred(br.Where, depth, tracked, rep)
+		}
+	}
+}
+
+func walkRange(r *ast.Range, depth int, tracked map[string]bool, rep *Report) {
+	if r == nil {
+		return
+	}
+	if r.Var != "" && (tracked == nil || tracked[r.Var]) {
+		rep.Occurrences = append(rep.Occurrences, Occurrence{Name: r.Var, Depth: depth, Pos: r.Pos})
+	}
+	if r.Sub != nil {
+		walkSet(r.Sub, depth, tracked, rep)
+	}
+	for i := range r.Suffixes {
+		for j := range r.Suffixes[i].Args {
+			if rel := r.Suffixes[i].Args[j].Rel; rel != nil {
+				walkRange(rel, depth, tracked, rep)
+			}
+		}
+	}
+}
+
+func walkPred(p ast.Pred, depth int, tracked map[string]bool, rep *Report) {
+	switch q := p.(type) {
+	case ast.And:
+		walkPred(q.L, depth, tracked, rep)
+		walkPred(q.R, depth, tracked, rep)
+	case ast.Or:
+		walkPred(q.L, depth, tracked, rep)
+		walkPred(q.R, depth, tracked, rep)
+	case ast.Not:
+		walkPred(q.P, depth+1, tracked, rep)
+	case ast.Quant:
+		// Names in the range expression are NOT under this quantifier
+		// (section 3.3's definition); names in the body are, when ALL.
+		walkRange(q.Range, depth, tracked, rep)
+		bodyDepth := depth
+		if q.All {
+			bodyDepth++
+		}
+		walkPred(q.Body, bodyDepth, tracked, rep)
+	case ast.Member:
+		walkRange(q.Range, depth, tracked, rep)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Negation normal form (the lemma's rewriting)
+// ---------------------------------------------------------------------------
+
+// ToNNF pushes negations inward using De Morgan's laws, the range-coupled
+// quantifier dualities
+//
+//	NOT ALL r IN R (p)  =  SOME r IN R (NOT p)
+//	NOT SOME r IN R (p) =  ALL r IN R (NOT p)
+//
+// and the double-negation law, mirroring the proof sketch of the positivity
+// lemma. Comparisons are complemented directly (= <-> #, < <-> >=, ...), so
+// the result contains NOT only immediately above Member predicates.
+func ToNNF(p ast.Pred) ast.Pred {
+	return nnf(p, false)
+}
+
+func nnf(p ast.Pred, neg bool) ast.Pred {
+	switch q := p.(type) {
+	case ast.BoolLit:
+		if neg {
+			return ast.BoolLit{Val: !q.Val}
+		}
+		return q
+	case ast.Cmp:
+		if neg {
+			return ast.Cmp{Op: complementCmp(q.Op), L: q.L, R: q.R}
+		}
+		return q
+	case ast.And:
+		if neg {
+			return ast.Or{L: nnf(q.L, true), R: nnf(q.R, true)}
+		}
+		return ast.And{L: nnf(q.L, false), R: nnf(q.R, false)}
+	case ast.Or:
+		if neg {
+			return ast.And{L: nnf(q.L, true), R: nnf(q.R, true)}
+		}
+		return ast.Or{L: nnf(q.L, false), R: nnf(q.R, false)}
+	case ast.Not:
+		return nnf(q.P, !neg)
+	case ast.Quant:
+		out := ast.Quant{Var: q.Var, Range: q.Range, Pos: q.Pos}
+		if neg {
+			out.All = !q.All
+			out.Body = nnf(q.Body, true)
+		} else {
+			out.All = q.All
+			out.Body = nnf(q.Body, false)
+		}
+		return out
+	case ast.Member:
+		if neg {
+			return ast.Not{P: q}
+		}
+		return q
+	default:
+		panic(fmt.Sprintf("positivity: ToNNF: unknown predicate %T", p))
+	}
+}
+
+func complementCmp(op ast.CmpOp) ast.CmpOp {
+	switch op {
+	case ast.OpEq:
+		return ast.OpNe
+	case ast.OpNe:
+		return ast.OpEq
+	case ast.OpLt:
+		return ast.OpGe
+	case ast.OpLe:
+		return ast.OpGt
+	case ast.OpGt:
+		return ast.OpLe
+	default:
+		return ast.OpLt
+	}
+}

@@ -1,0 +1,255 @@
+package positivity
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func mustPred(t *testing.T, src string) ast.Pred {
+	t.Helper()
+	p, err := parser.ParsePred(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestDepthCounting(t *testing.T) {
+	cases := []struct {
+		src      string
+		positive bool
+	}{
+		// Even depths.
+		{`r IN Rel`, true},
+		{`NOT (NOT (r IN Rel))`, true},
+		{`NOT (SOME s IN Other (NOT (s IN Rel)))`, true}, // Rel under two NOTs: depth 2, even
+		{`SOME s IN Rel (s.a = 1)`, true},
+		{`ALL s IN Other (s IN Rel)`, false}, // Rel under one ALL
+		{`NOT ALL s IN Other (s IN Rel)`, true},
+		{`NOT (r IN Rel)`, false},
+	}
+	for _, c := range cases {
+		rep := CheckPred(mustPred(t, c.src), map[string]bool{"Rel": true})
+		if rep.Positive() != c.positive {
+			t.Errorf("%q: positive=%v, want %v (occurrences %+v)",
+				c.src, rep.Positive(), c.positive, rep.Occurrences)
+		}
+	}
+}
+
+func TestRangeOfQuantifierNotUnderALL(t *testing.T) {
+	// Section 3.3: in ALL r IN exp (p), names in exp are NOT under the ALL.
+	rep := CheckPred(mustPred(t, `ALL s IN Rel (s.a = 1)`), map[string]bool{"Rel": true})
+	if !rep.Positive() {
+		t.Errorf("range position of ALL must not count: %+v", rep.Occurrences)
+	}
+}
+
+func TestNestedDepthAccumulates(t *testing.T) {
+	// Two ALLs over one occurrence: depth 2 = even = positive.
+	rep := CheckPred(mustPred(t,
+		`ALL a IN Other (ALL b IN Other2 (x IN Rel))`), map[string]bool{"Rel": true})
+	if !rep.Positive() {
+		t.Errorf("double-ALL occurrence is even: %+v", rep.Occurrences)
+	}
+	// ALL + NOT = depth 2.
+	rep2 := CheckPred(mustPred(t,
+		`ALL a IN Other (NOT (x IN Rel))`), map[string]bool{"Rel": true})
+	if !rep2.Positive() {
+		t.Errorf("ALL+NOT occurrence is even: %+v", rep2.Occurrences)
+	}
+}
+
+func TestCheckConstructorPaperExamples(t *testing.T) {
+	parse := func(src string) *ast.ConstructorDecl {
+		m, err := parser.ParseModule("MODULE m;\n" + src + "\nEND m.")
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		for _, d := range m.Decls {
+			if cd, ok := d.(*ast.ConstructorDecl); ok {
+				return cd
+			}
+		}
+		t.Fatal("no constructor")
+		return nil
+	}
+	ahead := parse(`
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+END ahead;`)
+	if rep := CheckConstructor(ahead); !rep.Positive() {
+		t.Errorf("ahead must be positive: %v", rep.Error())
+	}
+
+	nonsense := parse(`
+CONSTRUCTOR nonsense FOR Rel: anytype (): anyothertype;
+BEGIN EACH r IN Rel: NOT (r IN Rel{nonsense}) END nonsense;`)
+	rep := CheckConstructor(nonsense)
+	if rep.Positive() {
+		t.Error("nonsense must violate positivity")
+	}
+	if err := rep.Error(); err == nil || !strings.Contains(err.Error(), "Rel") {
+		t.Errorf("violation must name the occurrence: %v", err)
+	}
+
+	strange := parse(`
+CONSTRUCTOR strange FOR Baserel: cardrel (): cardrel;
+BEGIN
+  EACH r IN Baserel: NOT SOME s IN Baserel{strange} (r.number = s.number + 1)
+END strange;`)
+	if rep := CheckConstructor(strange); rep.Positive() {
+		t.Error("strange must violate positivity (occurrence under one NOT)")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NNF rewriting (the lemma's proof mechanism)
+// ---------------------------------------------------------------------------
+
+func TestToNNFShapes(t *testing.T) {
+	cases := map[string]string{
+		`NOT (x.a = 1 AND x.b = 2)`:   "OR",
+		`NOT (x.a = 1 OR x.b = 2)`:    "AND",
+		`NOT (NOT (x.a = 1))`:         "x.a = 1",
+		`NOT ALL r IN Rel (r.a = 1)`:  "SOME",
+		`NOT SOME r IN Rel (r.a = 1)`: "ALL",
+		`NOT (x.a < 1)`:               ">=",
+	}
+	for src, frag := range cases {
+		nnf := ToNNF(mustPred(t, src))
+		if !strings.Contains(nnf.String(), frag) {
+			t.Errorf("ToNNF(%q) = %q, want fragment %q", src, nnf.String(), frag)
+		}
+	}
+}
+
+// TestNNFSemanticEquivalence checks, on random data, that ToNNF preserves
+// the predicate's value — the executable core of the positivity lemma's
+// rewriting argument.
+func TestNNFSemanticEquivalence(t *testing.T) {
+	relT := schema.RelationType{Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "a", Type: schema.IntType()},
+		{Name: "b", Type: schema.IntType()},
+	}}}
+	rng := rand.New(rand.NewSource(3))
+
+	// Random predicate generator over variable x and relation R.
+	var genPred func(depth int) ast.Pred
+	genTerm := func() ast.Term {
+		if rng.Intn(2) == 0 {
+			return ast.Field{Var: "x", Attr: []string{"a", "b"}[rng.Intn(2)]}
+		}
+		return ast.Const{Val: value.Int(int64(rng.Intn(4)))}
+	}
+	genPred = func(depth int) ast.Pred {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			ops := []ast.CmpOp{ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe}
+			return ast.Cmp{Op: ops[rng.Intn(len(ops))], L: genTerm(), R: genTerm()}
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return ast.And{L: genPred(depth - 1), R: genPred(depth - 1)}
+		case 1:
+			return ast.Or{L: genPred(depth - 1), R: genPred(depth - 1)}
+		case 2:
+			return ast.Not{P: genPred(depth - 1)}
+		case 3:
+			return ast.Quant{All: true, Var: "q", Range: ast.RangeVar("R"),
+				Body: replaceVar(genPred(depth-1), rng)}
+		default:
+			return ast.Quant{All: false, Var: "q", Range: ast.RangeVar("R"),
+				Body: replaceVar(genPred(depth-1), rng)}
+		}
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		p := genPred(3)
+		nnf := ToNNF(p)
+		// Random data.
+		R := relation.New(relT)
+		for i := 0; i < rng.Intn(4); i++ {
+			R.Add(value.NewTuple(value.Int(int64(rng.Intn(4))), value.Int(int64(rng.Intn(4)))))
+		}
+		env := eval.NewEnv()
+		env.Rels["R"] = R
+		x := value.NewTuple(value.Int(int64(rng.Intn(4))), value.Int(int64(rng.Intn(4))))
+		got1, err1 := env.EvalPredWithTuple(p, "x", relT.Element, x)
+		got2, err2 := env.EvalPredWithTuple(nnf, "x", relT.Element, x)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v\np=%s", trial, err1, err2, p)
+		}
+		if err1 == nil && got1 != got2 {
+			t.Fatalf("trial %d: %s = %v but NNF %s = %v", trial, p, got1, nnf, got2)
+		}
+	}
+}
+
+// replaceVar randomly rewrites some x references to the quantified variable
+// q so quantifier bodies actually use their variable.
+func replaceVar(p ast.Pred, rng *rand.Rand) ast.Pred {
+	if rng.Intn(2) == 0 {
+		return p
+	}
+	switch q := p.(type) {
+	case ast.Cmp:
+		if f, ok := q.L.(ast.Field); ok {
+			return ast.Cmp{Op: q.Op, L: ast.Field{Var: "q", Attr: f.Attr}, R: q.R}
+		}
+	}
+	return p
+}
+
+// TestPositiveImpliesMonotonic spot-checks the lemma: for positive branch
+// predicates over a growing relation, the derived set only grows.
+func TestPositiveImpliesMonotonic(t *testing.T) {
+	relT := schema.RelationType{Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "a", Type: schema.IntType()},
+	}}}
+	// Positive predicate mentioning R at even depth.
+	p := mustPred(t, `SOME s IN R (s.a = x.a) OR NOT (NOT (x IN R))`)
+	if rep := CheckPred(p, map[string]bool{"R": true}); !rep.Positive() {
+		t.Fatalf("test predicate must be positive: %v", rep.Error())
+	}
+	rng := rand.New(rand.NewSource(9))
+	base := relation.New(relT)
+	universe := relation.New(relT)
+	for i := 0; i < 6; i++ {
+		universe.Add(value.NewTuple(value.Int(int64(i))))
+	}
+	selectWith := func(R *relation.Relation) *relation.Relation {
+		env := eval.NewEnv()
+		env.Rels["R"] = R
+		out := relation.New(relT)
+		universe.Each(func(tup value.Tuple) bool {
+			ok, err := env.EvalPredWithTuple(p, "x", relT.Element, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				out.Add(tup)
+			}
+			return true
+		})
+		return out
+	}
+	prev := selectWith(base)
+	for step := 0; step < 6; step++ {
+		base.Add(value.NewTuple(value.Int(int64(rng.Intn(6)))))
+		next := selectWith(base)
+		if prev.Difference(next).Len() > 0 {
+			t.Fatalf("step %d: positive predicate lost tuples when R grew", step)
+		}
+		prev = next
+	}
+}

@@ -1,0 +1,652 @@
+// Package prolog implements the proof-oriented comparator of section 3.4 of
+// the paper: a tuple-at-a-time SLD resolution engine over function-free Horn
+// clauses without cut, fail, and negation — exactly the PROLOG fragment the
+// paper proves the constructor mechanism to subsume.
+//
+// Two evaluation modes are provided:
+//
+//   - Solve: pure SLD resolution with PROLOG's leftmost-goal, clause-order
+//     strategy. Like PROLOG it recomputes shared subproofs and loops forever
+//     on left-recursive programs or cyclic data (the paper: "the problem of
+//     endless loops is eliminated" only on the constructor side); a step
+//     budget converts non-termination into an error.
+//
+//   - SolveTabled: SLD with predicate-level memo tables (an OLDT-style
+//     approximation): the extension of every reachable derived predicate is
+//     computed to a fixpoint, then the goal is answered from the table. This
+//     is the fair modern baseline: it terminates on cyclic data but remains
+//     tuple-at-a-time.
+package prolog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Term is a Datalog term: a variable (Var >= 0) or a constant.
+type Term struct {
+	Var int // variable id when >= 0; constants use Var == -1
+	Con value.Value
+}
+
+// V returns a variable term.
+func V(id int) Term { return Term{Var: id} }
+
+// C returns a constant term.
+func C(v value.Value) Term { return Term{Var: -1, Con: v} }
+
+// CStr returns a string-constant term.
+func CStr(s string) Term { return C(value.Str(s)) }
+
+// CInt returns an integer-constant term.
+func CInt(i int64) Term { return C(value.Int(i)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var >= 0 }
+
+// String renders the term; variables print as _0, _1, ...
+func (t Term) String() string {
+	if t.IsVar() {
+		return fmt.Sprintf("_%d", t.Var)
+	}
+	return t.Con.String()
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// String renders the atom in Prolog syntax.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// maxVar returns the largest variable id in the atom, or -1.
+func (a Atom) maxVar() int {
+	m := -1
+	for _, t := range a.Args {
+		if t.IsVar() && t.Var > m {
+			m = t.Var
+		}
+	}
+	return m
+}
+
+// Clause is a definite Horn clause Head :- Body. An empty body is a fact.
+type Clause struct {
+	Head Atom
+	Body []Atom
+}
+
+// Fact builds a ground fact clause.
+func Fact(pred string, vals ...value.Value) Clause {
+	args := make([]Term, len(vals))
+	for i, v := range vals {
+		args[i] = C(v)
+	}
+	return Clause{Head: Atom{Pred: pred, Args: args}}
+}
+
+// Rule builds a rule clause.
+func Rule(head Atom, body ...Atom) Clause { return Clause{Head: head, Body: body} }
+
+// String renders the clause in Prolog syntax.
+func (c Clause) String() string {
+	if len(c.Body) == 0 {
+		return c.Head.String() + "."
+	}
+	parts := make([]string, len(c.Body))
+	for i, a := range c.Body {
+		parts[i] = a.String()
+	}
+	return c.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+func (c Clause) maxVar() int {
+	m := c.Head.maxVar()
+	for _, a := range c.Body {
+		if v := a.maxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Program is an ordered collection of clauses (order matters to SLD, as in
+// PROLOG).
+type Program struct {
+	clauses []Clause
+	// rules and facts per predicate, preserving order.
+	rules map[string][]Clause
+	facts map[string][]Clause
+	// factIdx indexes ground facts by first-argument constant.
+	factIdx map[string]map[string][]Clause
+}
+
+// NewProgram builds a program from clauses.
+func NewProgram(clauses ...Clause) *Program {
+	p := &Program{
+		rules:   make(map[string][]Clause),
+		facts:   make(map[string][]Clause),
+		factIdx: make(map[string]map[string][]Clause),
+	}
+	for _, c := range clauses {
+		p.Add(c)
+	}
+	return p
+}
+
+// Add appends a clause.
+func (p *Program) Add(c Clause) {
+	p.clauses = append(p.clauses, c)
+	pred := c.Head.Pred
+	if len(c.Body) == 0 && c.Head.maxVar() < 0 {
+		p.facts[pred] = append(p.facts[pred], c)
+		if len(c.Head.Args) > 0 {
+			idx := p.factIdx[pred]
+			if idx == nil {
+				idx = make(map[string][]Clause)
+				p.factIdx[pred] = idx
+			}
+			k := value.Tuple{c.Head.Args[0].Con}.Key()
+			idx[k] = append(idx[k], c)
+		}
+	} else {
+		p.rules[pred] = append(p.rules[pred], c)
+	}
+}
+
+// Clauses returns all clauses in order.
+func (p *Program) Clauses() []Clause { return p.clauses }
+
+// IsDerived reports whether the predicate has at least one rule (IDB).
+func (p *Program) IsDerived(pred string) bool { return len(p.rules[pred]) > 0 }
+
+// Predicates returns all predicate names, sorted.
+func (p *Program) Predicates() []string {
+	seen := make(map[string]bool)
+	for _, c := range p.clauses {
+		seen[c.Head.Pred] = true
+		for _, a := range c.Body {
+			seen[a.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the program.
+func (p *Program) String() string {
+	parts := make([]string, len(p.clauses))
+	for i, c := range p.clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Errors and statistics
+// ---------------------------------------------------------------------------
+
+// BudgetError reports that the step budget was exhausted — SLD's stand-in for
+// the endless loops of section 3.4.
+type BudgetError struct {
+	Steps int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("prolog: step budget of %d resolution steps exhausted (likely non-terminating SLD search)", e.Steps)
+}
+
+// Stats reports the work of one query.
+type Stats struct {
+	Resolutions  int // head-unification attempts
+	Unifications int // successful unifications
+	Answers      int // distinct answers
+}
+
+// Engine runs queries against a program.
+type Engine struct {
+	Prog *Program
+	// MaxSteps bounds resolution attempts; 0 means a large default.
+	MaxSteps int
+	// MaxDepth bounds the SLD derivation depth (the proof stack), mirroring
+	// a real PROLOG's stack overflow on non-terminating recursion; 0 means
+	// a large default.
+	MaxDepth int
+	// Stats of the most recent query.
+	Stats Stats
+}
+
+// NewEngine wraps a program.
+func NewEngine(p *Program) *Engine { return &Engine{Prog: p} }
+
+// ---------------------------------------------------------------------------
+// Substitutions
+// ---------------------------------------------------------------------------
+
+type bindingEnv struct {
+	vals  map[int]Term
+	trail []int
+}
+
+func newBindingEnv() *bindingEnv { return &bindingEnv{vals: make(map[int]Term)} }
+
+func (b *bindingEnv) walk(t Term) Term {
+	for t.IsVar() {
+		nxt, ok := b.vals[t.Var]
+		if !ok {
+			return t
+		}
+		t = nxt
+	}
+	return t
+}
+
+func (b *bindingEnv) bind(v int, t Term) {
+	b.vals[v] = t
+	b.trail = append(b.trail, v)
+}
+
+func (b *bindingEnv) mark() int { return len(b.trail) }
+
+func (b *bindingEnv) undo(mark int) {
+	for len(b.trail) > mark {
+		v := b.trail[len(b.trail)-1]
+		b.trail = b.trail[:len(b.trail)-1]
+		delete(b.vals, v)
+	}
+}
+
+// unify unifies two terms (function-free, so no occurs check is needed).
+func (b *bindingEnv) unify(x, y Term) bool {
+	x, y = b.walk(x), b.walk(y)
+	switch {
+	case x.IsVar() && y.IsVar():
+		if x.Var == y.Var {
+			return true
+		}
+		// Bind the younger (higher-id) variable to the older one. This
+		// keeps dereference chains short (the WAM convention); binding the
+		// older to the younger makes every walk from a long-lived goal
+		// variable traverse the entire derivation, turning deep SLD
+		// descents quadratic.
+		if x.Var < y.Var {
+			b.bind(y.Var, x)
+		} else {
+			b.bind(x.Var, y)
+		}
+		return true
+	case x.IsVar():
+		b.bind(x.Var, y)
+		return true
+	case y.IsVar():
+		b.bind(y.Var, x)
+		return true
+	default:
+		return x.Con == y.Con
+	}
+}
+
+func (b *bindingEnv) unifyAtoms(x, y Atom) bool {
+	if x.Pred != y.Pred || len(x.Args) != len(y.Args) {
+		return false
+	}
+	for i := range x.Args {
+		if !b.unify(x.Args[i], y.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// rename returns the clause with all variables shifted by offset.
+func rename(c Clause, offset int) Clause {
+	sh := func(a Atom) Atom {
+		args := make([]Term, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				args[i] = V(t.Var + offset)
+			} else {
+				args[i] = t
+			}
+		}
+		return Atom{Pred: a.Pred, Args: args}
+	}
+	out := Clause{Head: sh(c.Head)}
+	if len(c.Body) > 0 {
+		out.Body = make([]Atom, len(c.Body))
+		for i, a := range c.Body {
+			out.Body[i] = sh(a)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Pure SLD resolution
+// ---------------------------------------------------------------------------
+
+// goalList is a persistent singly linked list of pending goals, so that
+// pushing a clause body costs O(len(body)) instead of copying the whole
+// continuation.
+type goalList struct {
+	head Atom
+	rest *goalList
+}
+
+func pushGoals(body []Atom, rest *goalList) *goalList {
+	out := rest
+	for i := len(body) - 1; i >= 0; i-- {
+		out = &goalList{head: body[i], rest: out}
+	}
+	return out
+}
+
+// DepthError reports that the SLD derivation exceeded the depth bound —
+// the engine's rendering of PROLOG's stack overflow on endless loops.
+type DepthError struct {
+	Depth int
+}
+
+// Error implements error.
+func (e *DepthError) Error() string {
+	return fmt.Sprintf("prolog: SLD derivation exceeded depth %d (non-terminating recursion)", e.Depth)
+}
+
+// Solve returns all distinct ground answers to the goal under pure SLD
+// resolution (all-solutions backtracking). Each answer lists the values of
+// the goal's arguments in order. Non-ground answers are an error (programs
+// must be range-restricted).
+func (e *Engine) Solve(goal Atom) ([][]value.Value, error) {
+	e.Stats = Stats{}
+	maxSteps := e.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 50_000_000
+	}
+	maxDepth := e.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 1_000_000
+	}
+	env := newBindingEnv()
+	nextVar := goal.maxVar() + 1
+	seen := make(map[string]bool)
+	var answers [][]value.Value
+
+	var solve func(goals *goalList, depth int) error
+	solve = func(goals *goalList, depth int) error {
+		if depth > maxDepth {
+			return &DepthError{Depth: maxDepth}
+		}
+		if goals == nil {
+			ans := make([]value.Value, len(goal.Args))
+			keyT := make(value.Tuple, len(goal.Args))
+			for i, t := range goal.Args {
+				w := env.walk(t)
+				if w.IsVar() {
+					return fmt.Errorf("prolog: non-ground answer for %s (program not range-restricted)", goal)
+				}
+				ans[i] = w.Con
+				keyT[i] = w.Con
+			}
+			k := keyT.Key()
+			if !seen[k] {
+				seen[k] = true
+				answers = append(answers, ans)
+			}
+			return nil
+		}
+		g := goals.head
+		rest := goals.rest
+		gw := Atom{Pred: g.Pred, Args: make([]Term, len(g.Args))}
+		for i, t := range g.Args {
+			gw.Args[i] = env.walk(t)
+		}
+
+		try := func(c Clause) error {
+			e.Stats.Resolutions++
+			if e.Stats.Resolutions > maxSteps {
+				return &BudgetError{Steps: maxSteps}
+			}
+			rc := rename(c, nextVar)
+			savedNext := nextVar
+			nextVar += c.maxVar() + 1
+			m := env.mark()
+			if env.unifyAtoms(gw, rc.Head) {
+				e.Stats.Unifications++
+				if err := solve(pushGoals(rc.Body, rest), depth+1); err != nil {
+					return err
+				}
+			}
+			env.undo(m)
+			nextVar = savedNext
+			return nil
+		}
+
+		// Fact lookup with first-argument indexing when bound.
+		if len(gw.Args) > 0 && !gw.Args[0].IsVar() {
+			if idx, ok := e.Prog.factIdx[g.Pred]; ok {
+				k := value.Tuple{gw.Args[0].Con}.Key()
+				for _, c := range idx[k] {
+					if err := try(c); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			for _, c := range e.Prog.facts[g.Pred] {
+				if err := try(c); err != nil {
+					return err
+				}
+			}
+		}
+		for _, c := range e.Prog.rules[g.Pred] {
+			if err := try(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := solve(&goalList{head: goal}, 0); err != nil {
+		return nil, err
+	}
+	e.Stats.Answers = len(answers)
+	return answers, nil
+}
+
+// ---------------------------------------------------------------------------
+// Tabled evaluation
+// ---------------------------------------------------------------------------
+
+// SolveTabled answers the goal with predicate-level memo tables: the
+// extensions of all reachable derived predicates are computed to a fixpoint
+// by repeated rule application (body atoms over derived predicates read the
+// table; base predicates read the fact store), then the goal is matched
+// against the tables. It terminates on all range-restricted programs.
+func (e *Engine) SolveTabled(goal Atom) ([][]value.Value, error) {
+	e.Stats = Stats{}
+	maxSteps := e.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 50_000_000
+	}
+
+	// Reachable derived predicates from the goal.
+	needed := make(map[string]bool)
+	var mark func(pred string)
+	mark = func(pred string) {
+		if needed[pred] || !e.Prog.IsDerived(pred) {
+			return
+		}
+		needed[pred] = true
+		for _, c := range e.Prog.rules[pred] {
+			for _, a := range c.Body {
+				mark(a.Pred)
+			}
+		}
+	}
+	mark(goal.Pred)
+
+	tables := make(map[string]map[string][]value.Value)
+	for pred := range needed {
+		tables[pred] = make(map[string][]value.Value)
+		// Ground facts of derived predicates (e.g. magic seeds) enter the
+		// table up front.
+		for _, c := range e.Prog.facts[pred] {
+			row := make([]value.Value, len(c.Head.Args))
+			kt := make(value.Tuple, len(c.Head.Args))
+			for i, t := range c.Head.Args {
+				row[i] = t.Con
+				kt[i] = t.Con
+			}
+			tables[pred][kt.Key()] = row
+		}
+	}
+
+	lookup := func(pred string) [][]value.Value {
+		var out [][]value.Value
+		for _, vs := range tables[pred] {
+			out = append(out, vs)
+		}
+		return out
+	}
+
+	// Iterate all rules until no table grows.
+	for {
+		grew := false
+		for pred := range needed {
+			for _, c := range e.Prog.rules[pred] {
+				if err := e.applyRule(c, tables, maxSteps, &grew); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Answer the goal from the table (derived) or the facts (base).
+	var candidates [][]value.Value
+	if e.Prog.IsDerived(goal.Pred) {
+		candidates = lookup(goal.Pred)
+	} else {
+		for _, c := range e.Prog.facts[goal.Pred] {
+			row := make([]value.Value, len(c.Head.Args))
+			for i, t := range c.Head.Args {
+				row[i] = t.Con
+			}
+			candidates = append(candidates, row)
+		}
+	}
+	var answers [][]value.Value
+	seen := make(map[string]bool)
+	for _, row := range candidates {
+		env := newBindingEnv()
+		ok := len(row) == len(goal.Args)
+		for i := 0; ok && i < len(row); i++ {
+			ok = env.unify(goal.Args[i], C(row[i]))
+		}
+		if !ok {
+			continue
+		}
+		kt := make(value.Tuple, len(row))
+		copy(kt, row)
+		k := kt.Key()
+		if !seen[k] {
+			seen[k] = true
+			answers = append(answers, row)
+		}
+	}
+	e.Stats.Answers = len(answers)
+	return answers, nil
+}
+
+// applyRule joins the rule body left to right against facts and tables,
+// inserting new head tuples.
+func (e *Engine) applyRule(c Clause, tables map[string]map[string][]value.Value, maxSteps int, grew *bool) error {
+	env := newBindingEnv()
+	var join func(i int) error
+	join = func(i int) error {
+		if i == len(c.Body) {
+			row := make([]value.Value, len(c.Head.Args))
+			kt := make(value.Tuple, len(c.Head.Args))
+			for j, t := range c.Head.Args {
+				w := env.walk(t)
+				if w.IsVar() {
+					return fmt.Errorf("prolog: rule %s derives non-ground tuple", c)
+				}
+				row[j] = w.Con
+				kt[j] = w.Con
+			}
+			k := kt.Key()
+			if _, ok := tables[c.Head.Pred][k]; !ok {
+				tables[c.Head.Pred][k] = row
+				*grew = true
+			}
+			return nil
+		}
+		a := c.Body[i]
+		tryRow := func(row []value.Value) error {
+			e.Stats.Resolutions++
+			if e.Stats.Resolutions > maxSteps {
+				return &BudgetError{Steps: maxSteps}
+			}
+			if len(row) != len(a.Args) {
+				return nil
+			}
+			m := env.mark()
+			ok := true
+			for j := range row {
+				if !env.unify(a.Args[j], C(row[j])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				e.Stats.Unifications++
+				if err := join(i + 1); err != nil {
+					return err
+				}
+			}
+			env.undo(m)
+			return nil
+		}
+		if e.Prog.IsDerived(a.Pred) {
+			for _, row := range tables[a.Pred] {
+				if err := tryRow(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, fc := range e.Prog.facts[a.Pred] {
+			row := make([]value.Value, len(fc.Head.Args))
+			for j, t := range fc.Head.Args {
+				row[j] = t.Con
+			}
+			if err := tryRow(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return join(0)
+}

@@ -1,0 +1,174 @@
+package prolog
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func tcProgram(edges [][2]string) *Program {
+	p := NewProgram(
+		Rule(NewAtom("path", V(0), V(1)), NewAtom("edge", V(0), V(1))),
+		Rule(NewAtom("path", V(0), V(1)),
+			NewAtom("edge", V(0), V(2)), NewAtom("path", V(2), V(1))),
+	)
+	for _, e := range edges {
+		p.Add(Fact("edge", value.Str(e[0]), value.Str(e[1])))
+	}
+	return p
+}
+
+func TestSolveChain(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}})
+	e := NewEngine(p)
+	ans, err := e.Solve(NewAtom("path", V(0), V(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 6 {
+		t.Errorf("answers: %d, want 6", len(ans))
+	}
+	if e.Stats.Answers != 6 || e.Stats.Resolutions == 0 {
+		t.Errorf("stats: %+v", e.Stats)
+	}
+}
+
+func TestSolveBoundGoal(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "b"}, {"b", "c"}})
+	e := NewEngine(p)
+	ans, err := e.Solve(NewAtom("path", CStr("a"), V(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Errorf("path(a, X): %d answers, want 2", len(ans))
+	}
+	// Fully ground goal.
+	ans2, err := e.Solve(NewAtom("path", CStr("a"), CStr("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans2) != 1 {
+		t.Errorf("ground goal: %d answers", len(ans2))
+	}
+	ans3, err := e.Solve(NewAtom("path", CStr("c"), CStr("a")))
+	if err != nil || len(ans3) != 0 {
+		t.Errorf("false ground goal: %d answers, err %v", len(ans3), err)
+	}
+}
+
+func TestTabledMatchesSolveOnDAG(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"c", "d"}})
+	e := NewEngine(p)
+	sld, err := e.Solve(NewAtom("path", V(0), V(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.SolveTabled(NewAtom("path", V(0), V(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sld) != len(tab) {
+		t.Errorf("sld %d vs tabled %d", len(sld), len(tab))
+	}
+}
+
+func TestTabledTerminatesOnCycle(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "b"}, {"b", "a"}})
+	e := NewEngine(p)
+	tab, err := e.SolveTabled(NewAtom("path", V(0), V(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab) != 4 {
+		t.Errorf("cycle closure: %d, want 4", len(tab))
+	}
+	// Pure SLD diverges; the budget converts it into an error.
+	e.MaxSteps = 10_000
+	if _, err := e.Solve(NewAtom("path", V(0), V(1))); err == nil {
+		t.Error("expected budget exhaustion on cyclic data")
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "a"}})
+	e := NewEngine(p)
+	e.MaxDepth = 50
+	_, err := e.Solve(NewAtom("path", V(0), V(1)))
+	if _, ok := err.(*DepthError); !ok {
+		t.Fatalf("expected DepthError, got %v", err)
+	}
+}
+
+func TestMutualRecursionTabled(t *testing.T) {
+	// even/odd over successor facts.
+	p := NewProgram(
+		Rule(NewAtom("even", V(0)), NewAtom("zero", V(0))),
+		Rule(NewAtom("even", V(0)), NewAtom("succ", V(1), V(0)), NewAtom("odd", V(1))),
+		Rule(NewAtom("odd", V(0)), NewAtom("succ", V(1), V(0)), NewAtom("even", V(1))),
+		Fact("zero", value.Int(0)),
+	)
+	for i := int64(0); i < 8; i++ {
+		p.Add(Fact("succ", value.Int(i), value.Int(i+1)))
+	}
+	e := NewEngine(p)
+	evens, err := e.SolveTabled(NewAtom("even", V(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evens) != 5 { // 0,2,4,6,8
+		t.Errorf("evens: %d, want 5", len(evens))
+	}
+}
+
+func TestIDBFactsVisibleToTabled(t *testing.T) {
+	// Ground facts of a derived predicate (the magic-seed pattern).
+	p := NewProgram(
+		Fact("p", value.Str("seed")),
+		Rule(NewAtom("p", V(0)), NewAtom("e", V(0), V(1)), NewAtom("p", V(1))),
+		Fact("e", value.Str("x"), value.Str("seed")),
+	)
+	e := NewEngine(p)
+	ans, err := e.SolveTabled(NewAtom("p", V(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Errorf("IDB facts: %d answers, want 2", len(ans))
+	}
+}
+
+func TestZeroArityPredicates(t *testing.T) {
+	p := NewProgram(
+		Fact("go"),
+		Rule(NewAtom("result", V(0)), NewAtom("go"), NewAtom("e", V(0))),
+		Fact("e", value.Str("a")),
+	)
+	e := NewEngine(p)
+	ans, err := e.Solve(NewAtom("result", V(0)))
+	if err != nil || len(ans) != 1 {
+		t.Errorf("0-ary: %d answers, err %v", len(ans), err)
+	}
+}
+
+func TestClauseRendering(t *testing.T) {
+	c := Rule(NewAtom("p", V(0), V(1)), NewAtom("e", V(0), V(2)), NewAtom("p", V(2), V(1)))
+	want := "p(_0,_1) :- e(_0,_2), p(_2,_1)."
+	if c.String() != want {
+		t.Errorf("String: %q, want %q", c.String(), want)
+	}
+	if Fact("e", value.Str("a")).String() != `e("a").` {
+		t.Errorf("fact rendering: %s", Fact("e", value.Str("a")))
+	}
+}
+
+func TestPredicatesListing(t *testing.T) {
+	p := tcProgram([][2]string{{"a", "b"}})
+	preds := p.Predicates()
+	if len(preds) != 2 || preds[0] != "edge" || preds[1] != "path" {
+		t.Errorf("Predicates: %v", preds)
+	}
+	if !p.IsDerived("path") || p.IsDerived("edge") {
+		t.Error("IsDerived misclassifies")
+	}
+}

@@ -1,0 +1,153 @@
+package quantgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func decls(t *testing.T, src string) []*ast.ConstructorDecl {
+	t.Helper()
+	m, err := parser.ParseModule("MODULE m;\n" + src + "\nEND m.")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var out []*ast.ConstructorDecl
+	for _, d := range m.Decls {
+		if cd, ok := d.(*ast.ConstructorDecl); ok {
+			out = append(out, cd)
+		}
+	}
+	return out
+}
+
+const aheadSrc = `
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+END ahead;`
+
+func TestFig3Structure(t *testing.T) {
+	g := Build(decls(t, aheadSrc))
+	// One head node plus three variable nodes (r; f, b).
+	heads, vars := 0, 0
+	for _, n := range g.Nodes {
+		if n.Kind == HeadNode {
+			heads++
+		} else {
+			vars++
+		}
+	}
+	if heads != 1 || vars != 3 {
+		t.Fatalf("nodes: %d heads, %d vars", heads, vars)
+	}
+	var calls, joins, attrs int
+	for _, a := range g.Arcs {
+		switch a.Kind {
+		case CallArc:
+			calls++
+		case JoinArc:
+			joins++
+		case HeadArc:
+			attrs++
+		}
+	}
+	if calls != 1 {
+		t.Errorf("call arcs: %d, want 1 (b -> ahead)", calls)
+	}
+	if joins != 1 {
+		t.Errorf("join arcs: %d, want 1 (f.back = b.head)", joins)
+	}
+	if attrs != 3 {
+		t.Errorf("attr arcs: %d, want 3 (r whole; f.front; b.tail)", attrs)
+	}
+}
+
+func TestRecursiveCycleDetection(t *testing.T) {
+	g := Build(decls(t, aheadSrc))
+	recs := g.RecursiveConstructors()
+	if len(recs) != 1 || recs[0] != "ahead" {
+		t.Errorf("recursive: %v", recs)
+	}
+}
+
+func TestAcyclicConstructor(t *testing.T) {
+	g := Build(decls(t, `
+CONSTRUCTOR ahead2 FOR Rel: infrontrel (): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.front, b.back> OF EACH f IN Rel, EACH b IN Rel: f.back = b.front
+END ahead2;`))
+	if recs := g.RecursiveConstructors(); len(recs) != 0 {
+		t.Errorf("ahead2 is not recursive: %v", recs)
+	}
+	if !strings.Contains(g.ASCII(), "acyclic") {
+		t.Error("ASCII must report acyclic")
+	}
+}
+
+func TestMutualRecursionOneComponent(t *testing.T) {
+	g := Build(decls(t, `
+CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <r.front, ab.low> OF EACH r IN Rel, EACH ab IN Ontop{above(Rel)}: r.back = ab.high
+END ahead;
+CONSTRUCTOR above FOR Rel: ontoprel (Infront: infrontrel): aboverel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <r.top, ah.tail> OF EACH r IN Rel, EACH ah IN Infront{ahead(Rel)}: r.base = ah.head
+END above;`))
+	recs := g.RecursiveConstructors()
+	if len(recs) != 2 {
+		t.Errorf("mutual recursion: %v", recs)
+	}
+	comps := g.Components()
+	// All nodes must fall into one weakly connected component.
+	if len(comps) != 1 {
+		t.Errorf("components: %d, want 1", len(comps))
+	}
+}
+
+func TestDisconnectedPartition(t *testing.T) {
+	g := Build(decls(t, aheadSrc+`
+CONSTRUCTOR other FOR Rel: xrel (): xrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <a.p, a.q> OF EACH a IN Rel{other}: TRUE
+END other;`))
+	if len(g.Components()) != 2 {
+		t.Errorf("independent constructors must partition: %d components", len(g.Components()))
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	g := Build(decls(t, aheadSrc))
+	dot := g.DOT()
+	for _, frag := range []string{"digraph", "CONSTRUCTOR ahead", "style=dashed"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+	ascii := g.ASCII()
+	for _, frag := range []string{"EACH b IN Rel{ahead}", "recursive cycles: ahead", "f.back = b.head"} {
+		if !strings.Contains(ascii, frag) {
+			t.Errorf("ASCII missing %q:\n%s", frag, ascii)
+		}
+	}
+}
+
+func TestSCCReverseTopologicalOrder(t *testing.T) {
+	g := Build(decls(t, aheadSrc))
+	sccs := g.SCCs()
+	total := 0
+	for _, c := range sccs {
+		total += len(c)
+	}
+	if total != len(g.Nodes) {
+		t.Errorf("SCCs must partition nodes: %d vs %d", total, len(g.Nodes))
+	}
+}

@@ -1,0 +1,338 @@
+// Package relation implements the keyed tuple sets at the heart of the DBPL
+// data model (section 2.2 of the paper), together with the set algebra that
+// the fixpoint machinery of section 3 is built from: union, difference,
+// equality (the REPEAT ... UNTIL Ahead = Oldahead convergence test),
+// projection, selection, and hash-indexed join support.
+//
+// A Relation enforces its type's key constraint on every insertion, which is
+// exactly the run-time test the paper derives for assignments:
+//
+//	IF ALL x1,x2 IN rex (x1.key=x2.key ==> x1=x2) THEN rel := rex ELSE <exception>
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// KeyConflictError reports a violated key constraint: two distinct tuples
+// sharing a key value.
+type KeyConflictError struct {
+	Relation string
+	Existing value.Tuple
+	Incoming value.Tuple
+}
+
+// Error implements error.
+func (e *KeyConflictError) Error() string {
+	return fmt.Sprintf("relation %s: key conflict between %s and %s",
+		e.Relation, e.Existing, e.Incoming)
+}
+
+// Relation is a mutable set of tuples of a fixed relation type. The zero
+// value is not usable; construct with New.
+type Relation struct {
+	typ    schema.RelationType
+	keyPos []int
+	// tuples maps the key-attribute encoding of each tuple to the tuple.
+	// When the key covers all attributes this is plain set semantics.
+	tuples map[string]value.Tuple
+	// whole maps the full-tuple encoding to struct{}; maintained only when
+	// the key is a proper subset of the attributes, to make Contains exact.
+	whole map[string]struct{}
+}
+
+// New creates an empty relation of the given type.
+func New(typ schema.RelationType) *Relation {
+	r := &Relation{
+		typ:    typ,
+		keyPos: typ.KeyPositions(),
+		tuples: make(map[string]value.Tuple),
+	}
+	if len(r.keyPos) != typ.Element.Arity() {
+		r.whole = make(map[string]struct{})
+	}
+	return r
+}
+
+// FromTuples creates a relation of the given type holding the given tuples.
+// It returns an error on a domain or key violation.
+func FromTuples(typ schema.RelationType, tuples ...value.Tuple) (*Relation, error) {
+	r := New(typ)
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromTuples is FromTuples but panics on error; intended for tests and
+// workload construction from trusted data.
+func MustFromTuples(typ schema.RelationType, tuples ...value.Tuple) *Relation {
+	r, err := FromTuples(typ, tuples...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Type returns the relation's type.
+func (r *Relation) Type() schema.RelationType { return r.typ }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// IsEmpty reports whether the relation holds no tuples.
+func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
+
+func (r *Relation) keyOf(t value.Tuple) string {
+	if len(r.keyPos) == len(t) {
+		return t.Key()
+	}
+	return t.Project(r.keyPos).Key()
+}
+
+// Insert adds a tuple. It is a no-op if an equal tuple is present, returns a
+// *KeyConflictError if a different tuple with the same key is present, and
+// checks the element type's domain predicate.
+func (r *Relation) Insert(t value.Tuple) error {
+	if !r.typ.Element.Contains(t) {
+		return fmt.Errorf("relation %s: tuple %s violates element type %s",
+			r.typ.Name, t, r.typ.Element)
+	}
+	k := r.keyOf(t)
+	if old, ok := r.tuples[k]; ok {
+		if old.Equal(t) {
+			return nil
+		}
+		return &KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: t}
+	}
+	r.tuples[k] = t
+	if r.whole != nil {
+		r.whole[t.Key()] = struct{}{}
+	}
+	return nil
+}
+
+// Add inserts a tuple and reports whether the relation grew. Unlike Insert it
+// treats a key conflict as a panic; it is used by the fixpoint engine, whose
+// derived relations always have whole-tuple keys.
+func (r *Relation) Add(t value.Tuple) bool {
+	k := r.keyOf(t)
+	if old, ok := r.tuples[k]; ok {
+		if !old.Equal(t) {
+			panic((&KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: t}).Error())
+		}
+		return false
+	}
+	r.tuples[k] = t
+	if r.whole != nil {
+		r.whole[t.Key()] = struct{}{}
+	}
+	return true
+}
+
+// Delete removes the tuple equal to t, reporting whether it was present.
+func (r *Relation) Delete(t value.Tuple) bool {
+	k := r.keyOf(t)
+	old, ok := r.tuples[k]
+	if !ok || !old.Equal(t) {
+		return false
+	}
+	delete(r.tuples, k)
+	if r.whole != nil {
+		delete(r.whole, t.Key())
+	}
+	return true
+}
+
+// Contains reports set membership of an exact tuple.
+func (r *Relation) Contains(t value.Tuple) bool {
+	if r.whole != nil {
+		_, ok := r.whole[t.Key()]
+		return ok
+	}
+	old, ok := r.tuples[t.Key()]
+	return ok && old.Equal(t)
+}
+
+// LookupKey returns the tuple with the given key attribute values, if any.
+func (r *Relation) LookupKey(key value.Tuple) (value.Tuple, bool) {
+	t, ok := r.tuples[key.Key()]
+	return t, ok
+}
+
+// Each calls fn for every tuple in unspecified order; fn returning false
+// stops the iteration.
+func (r *Relation) Each(fn func(value.Tuple) bool) {
+	for _, t := range r.tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns all tuples in deterministic (lexicographic) order.
+func (r *Relation) Tuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep-enough copy (tuples are immutable, maps are copied).
+func (r *Relation) Clone() *Relation {
+	c := &Relation{typ: r.typ, keyPos: r.keyPos,
+		tuples: make(map[string]value.Tuple, len(r.tuples))}
+	for k, t := range r.tuples {
+		c.tuples[k] = t
+	}
+	if r.whole != nil {
+		c.whole = make(map[string]struct{}, len(r.whole))
+		for k := range r.whole {
+			c.whole[k] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Clear removes all tuples, keeping the type.
+func (r *Relation) Clear() {
+	r.tuples = make(map[string]value.Tuple)
+	if r.whole != nil {
+		r.whole = make(map[string]struct{})
+	}
+}
+
+// Equal reports set equality with another relation of positionally compatible
+// type. This is the convergence test of the paper's REPEAT loops
+// (UNTIL Ahead = Oldahead).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !o.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInto inserts every tuple of o into r (set union in place), reporting
+// how many tuples were new. Types must be positionally compatible; tuples are
+// re-labelled to r's type implicitly (positional semantics, section 3.1).
+func (r *Relation) UnionInto(o *Relation) int {
+	grew := 0
+	o.Each(func(t value.Tuple) bool {
+		if r.Add(t) {
+			grew++
+		}
+		return true
+	})
+	return grew
+}
+
+// Union returns a fresh relation of r's type holding r ∪ o.
+func (r *Relation) Union(o *Relation) *Relation {
+	out := r.Clone()
+	out.UnionInto(o)
+	return out
+}
+
+// Difference returns a fresh relation of r's type holding r \ o.
+func (r *Relation) Difference(o *Relation) *Relation {
+	out := New(r.typ)
+	r.Each(func(t value.Tuple) bool {
+		if !o.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Intersect returns a fresh relation of r's type holding r ∩ o.
+func (r *Relation) Intersect(o *Relation) *Relation {
+	out := New(r.typ)
+	r.Each(func(t value.Tuple) bool {
+		if o.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Select returns a fresh relation holding the tuples satisfying pred.
+func (r *Relation) Select(pred func(value.Tuple) bool) *Relation {
+	out := New(r.typ)
+	r.Each(func(t value.Tuple) bool {
+		if pred(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project returns a fresh relation over the given attribute positions, typed
+// with the supplied result type (projection may create duplicates, which set
+// semantics collapses).
+func (r *Relation) Project(resultType schema.RelationType, positions []int) *Relation {
+	out := New(resultType)
+	r.Each(func(t value.Tuple) bool {
+		out.Add(t.Project(positions))
+		return true
+	})
+	return out
+}
+
+// String renders the relation as a DBPL relation literal with tuples in
+// deterministic order, e.g. {<"a","b">, <"b","c">}.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range r.Tuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Index is a hash index over a projection of a relation's attributes, used by
+// the set-oriented evaluator for equi-joins (the f.back = b.head joins of the
+// ahead constructor).
+type Index struct {
+	positions []int
+	buckets   map[string][]value.Tuple
+}
+
+// BuildIndex indexes the relation on the given attribute positions.
+func BuildIndex(r *Relation, positions []int) *Index {
+	idx := &Index{positions: positions, buckets: make(map[string][]value.Tuple)}
+	r.Each(func(t value.Tuple) bool {
+		k := t.Project(positions).Key()
+		idx.buckets[k] = append(idx.buckets[k], t)
+		return true
+	})
+	return idx
+}
+
+// Probe returns the tuples whose indexed projection equals key.
+func (idx *Index) Probe(key value.Tuple) []value.Tuple {
+	return idx.buckets[key.Key()]
+}
+
+// Len returns the number of distinct keys in the index.
+func (idx *Index) Len() int { return len(idx.buckets) }

@@ -1,0 +1,232 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+var binT = schema.RelationType{
+	Name: "bin",
+	Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "a", Type: schema.StringType()},
+		{Name: "b", Type: schema.StringType()},
+	}},
+}
+
+var keyedT = schema.RelationType{
+	Name: "keyed",
+	Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "id", Type: schema.IntType()},
+		{Name: "val", Type: schema.StringType()},
+	}},
+	Key: []string{"id"},
+}
+
+func pair(a, b string) value.Tuple { return value.NewTuple(value.Str(a), value.Str(b)) }
+
+func TestInsertContainsDelete(t *testing.T) {
+	r := New(binT)
+	if err := r.Insert(pair("x", "y")); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(pair("x", "y")) || r.Len() != 1 {
+		t.Error("insert/contains failed")
+	}
+	// Duplicate insert is a no-op.
+	if err := r.Insert(pair("x", "y")); err != nil || r.Len() != 1 {
+		t.Error("duplicate insert must be a no-op")
+	}
+	if !r.Delete(pair("x", "y")) || r.Len() != 0 {
+		t.Error("delete failed")
+	}
+	if r.Delete(pair("x", "y")) {
+		t.Error("deleting an absent tuple must report false")
+	}
+}
+
+func TestKeyConflict(t *testing.T) {
+	r := New(keyedT)
+	if err := r.Insert(value.NewTuple(value.Int(1), value.Str("a"))); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Insert(value.NewTuple(value.Int(1), value.Str("b")))
+	var kc *KeyConflictError
+	if err == nil {
+		t.Fatal("expected key conflict")
+	}
+	var ok bool
+	kc, ok = err.(*KeyConflictError)
+	if !ok {
+		t.Fatalf("expected *KeyConflictError, got %T", err)
+	}
+	if kc.Relation != "keyed" {
+		t.Errorf("conflict names relation %q", kc.Relation)
+	}
+	// Same key, same tuple: accepted.
+	if err := r.Insert(value.NewTuple(value.Int(1), value.Str("a"))); err != nil {
+		t.Errorf("re-inserting identical tuple: %v", err)
+	}
+}
+
+func TestKeyedContainsIsExact(t *testing.T) {
+	r := New(keyedT)
+	_ = r.Insert(value.NewTuple(value.Int(1), value.Str("a")))
+	if r.Contains(value.NewTuple(value.Int(1), value.Str("b"))) {
+		t.Error("Contains must compare whole tuples, not just keys")
+	}
+	got, ok := r.LookupKey(value.NewTuple(value.Int(1)))
+	if !ok || got[1] != value.Str("a") {
+		t.Error("LookupKey failed")
+	}
+}
+
+func TestDomainViolation(t *testing.T) {
+	sub := schema.RelationType{
+		Element: schema.RecordType{Attrs: []schema.Attribute{
+			{Name: "n", Type: schema.RangeType("small", 1, 10)},
+		}},
+	}
+	r := New(sub)
+	if err := r.Insert(value.NewTuple(value.Int(11))); err == nil {
+		t.Error("out-of-range value must be rejected")
+	}
+	if err := r.Insert(value.NewTuple(value.Int(10))); err != nil {
+		t.Errorf("in-range value rejected: %v", err)
+	}
+}
+
+func TestTuplesDeterministicOrder(t *testing.T) {
+	r := MustFromTuples(binT, pair("b", "x"), pair("a", "y"), pair("a", "x"))
+	ts := r.Tuples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Compare(ts[i]) >= 0 {
+			t.Fatalf("Tuples not sorted: %v", ts)
+		}
+	}
+	if r.String() != `{<"a", "x">, <"a", "y">, <"b", "x">}` {
+		t.Errorf("String: %s", r.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := MustFromTuples(binT, pair("a", "b"))
+	c := r.Clone()
+	c.Add(pair("c", "d"))
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("clone must be independent")
+	}
+}
+
+// randomRel builds a relation from a random subset of a small universe so
+// that set identities get non-trivial overlaps.
+func randomRel(r *rand.Rand) *Relation {
+	names := []string{"a", "b", "c"}
+	out := New(binT)
+	for _, x := range names {
+		for _, y := range names {
+			if r.Intn(2) == 0 {
+				out.Add(pair(x, y))
+			}
+		}
+	}
+	return out
+}
+
+type relTriple struct{ A, B, C *Relation }
+
+// Generate implements quick.Generator.
+func (relTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(relTriple{A: randomRel(r), B: randomRel(r), C: randomRel(r)})
+}
+
+// Property: standard set identities hold.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(tr relTriple) bool {
+		a, b, c := tr.A, tr.B, tr.C
+		// Union commutes.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		// Union associates.
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		// A \ B is disjoint from B and unions with A∩B back to A.
+		diff := a.Difference(b)
+		if diff.Intersect(b).Len() != 0 {
+			return false
+		}
+		if !diff.Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		// De Morgan-ish: |A∪B| = |A| + |B| - |A∩B|.
+		return a.Union(b).Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is an equivalence consistent with mutual containment.
+func TestEqualProperty(t *testing.T) {
+	f := func(tr relTriple) bool {
+		a, b := tr.A, tr.B
+		eq := a.Equal(b)
+		bothWays := a.Difference(b).Len() == 0 && b.Difference(a).Len() == 0
+		return eq == bothWays
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionIntoReportsGrowth(t *testing.T) {
+	a := MustFromTuples(binT, pair("a", "b"), pair("c", "d"))
+	b := MustFromTuples(binT, pair("c", "d"), pair("e", "f"))
+	grew := a.UnionInto(b)
+	if grew != 1 || a.Len() != 3 {
+		t.Errorf("UnionInto: grew=%d len=%d", grew, a.Len())
+	}
+}
+
+func TestSelectAndProject(t *testing.T) {
+	r := MustFromTuples(binT, pair("a", "b"), pair("a", "c"), pair("b", "c"))
+	sel := r.Select(func(t value.Tuple) bool { return t[0] == value.Str("a") })
+	if sel.Len() != 2 {
+		t.Errorf("Select: %d", sel.Len())
+	}
+	unT := schema.RelationType{Element: schema.RecordType{Attrs: []schema.Attribute{
+		{Name: "a", Type: schema.StringType()}}}}
+	proj := r.Project(unT, []int{0})
+	if proj.Len() != 2 { // duplicates collapse
+		t.Errorf("Project: %d", proj.Len())
+	}
+}
+
+func TestIndexProbe(t *testing.T) {
+	r := MustFromTuples(binT, pair("a", "b"), pair("a", "c"), pair("b", "c"))
+	idx := BuildIndex(r, []int{0})
+	if got := len(idx.Probe(value.NewTuple(value.Str("a")))); got != 2 {
+		t.Errorf("Probe(a): %d", got)
+	}
+	if got := len(idx.Probe(value.NewTuple(value.Str("z")))); got != 0 {
+		t.Errorf("Probe(z): %d", got)
+	}
+	if idx.Len() != 2 {
+		t.Errorf("distinct keys: %d", idx.Len())
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	r := MustFromTuples(binT, pair("a", "b"), pair("c", "d"), pair("e", "f"))
+	n := 0
+	r.Each(func(value.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("Each early stop: visited %d", n)
+	}
+}

@@ -1,0 +1,283 @@
+// Package schema implements the DBPL type calculus of section 2 of the paper:
+// scalar types with domain predicates (subranges), record element types, and
+// relation types with key constraints.
+//
+// Section 2.2 observes that a relation type is a set type annotated with a
+// key constraint:
+//
+//	reltype = SET OF elementtype ||
+//	  WHERE rel IN reltype ==> ALL r1,r2 IN rel (r1.key=r2.key ==> r1=r2)
+//
+// and that relational languages support that class of annotated set types
+// directly through RELATION key OF elementtype. This package is the static
+// side of that story; the dynamic key check on assignment lives in package
+// relation, and the general selector/constructor machinery builds on both.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ScalarType describes a scalar attribute domain: a base kind plus an
+// optional subrange restriction (the paper's partidtype IS RANGE 1..100,
+// equivalent to the domain predicate 1<=p AND p<=100).
+type ScalarType struct {
+	Name string     // declared type name; may be empty for anonymous types
+	Kind value.Kind // base kind
+	// Subrange restriction; meaningful only for KindInt when HasRange.
+	HasRange bool
+	Lo, Hi   int64
+}
+
+// IntType returns the unrestricted integer type.
+func IntType() ScalarType { return ScalarType{Name: "INTEGER", Kind: value.KindInt} }
+
+// CardinalType returns the non-negative integer type (MODULA-2 CARDINAL),
+// modelled as the subrange 0..MaxInt64.
+func CardinalType() ScalarType {
+	return ScalarType{Name: "CARDINAL", Kind: value.KindInt, HasRange: true, Lo: 0, Hi: 1<<63 - 1}
+}
+
+// StringType returns the string type.
+func StringType() ScalarType { return ScalarType{Name: "STRING", Kind: value.KindString} }
+
+// BoolType returns the boolean type.
+func BoolType() ScalarType { return ScalarType{Name: "BOOLEAN", Kind: value.KindBool} }
+
+// RangeType returns the integer subrange lo..hi, the paper's RANGE construct.
+func RangeType(name string, lo, hi int64) ScalarType {
+	return ScalarType{Name: name, Kind: value.KindInt, HasRange: true, Lo: lo, Hi: hi}
+}
+
+// Contains reports whether v satisfies the type's domain predicate. This is
+// exactly the run-time test the paper's type checker would emit:
+//
+//	IF (lo<=ix) AND (ix<=hi) THEN p := ix ELSE <exception>
+func (t ScalarType) Contains(v value.Value) bool {
+	if v.Kind() != t.Kind {
+		return false
+	}
+	if t.HasRange && t.Kind == value.KindInt {
+		i := v.AsInt()
+		return t.Lo <= i && i <= t.Hi
+	}
+	return true
+}
+
+// AssignableFrom reports whether a value of type o may be assigned to a
+// variable of type t without a run-time domain check (static widening), i.e.
+// same kind and o's domain is contained in t's.
+func (t ScalarType) AssignableFrom(o ScalarType) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if !t.HasRange {
+		return true
+	}
+	if !o.HasRange {
+		return false
+	}
+	return t.Lo <= o.Lo && o.Hi <= t.Hi
+}
+
+// SameDomain reports whether two scalar types denote the same domain set.
+// Names are irrelevant: DBPL typing here is structural, as in the paper's
+// treatment of element types.
+func (t ScalarType) SameDomain(o ScalarType) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.HasRange != o.HasRange {
+		return false
+	}
+	if t.HasRange {
+		return t.Lo == o.Lo && t.Hi == o.Hi
+	}
+	return true
+}
+
+// String renders the type in DBPL-like syntax.
+func (t ScalarType) String() string {
+	if t.HasRange && t.Name != "INTEGER" && t.Name != "CARDINAL" {
+		return fmt.Sprintf("RANGE %d..%d", t.Lo, t.Hi)
+	}
+	if t.Name != "" {
+		return t.Name
+	}
+	return t.Kind.String()
+}
+
+// Attribute is a named, typed record field.
+type Attribute struct {
+	Name string
+	Type ScalarType
+}
+
+// RecordType is the element type of a relation: an ordered list of named
+// scalar attributes (the paper's RECORD front, back: parttype END).
+type RecordType struct {
+	Name  string // declared name; may be empty
+	Attrs []Attribute
+}
+
+// NewRecordType builds a record type from attribute name/type pairs.
+func NewRecordType(name string, attrs ...Attribute) RecordType {
+	return RecordType{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (r RecordType) Arity() int { return len(r.Attrs) }
+
+// IndexOf returns the position of the named attribute, or -1.
+func (r RecordType) IndexOf(attr string) int {
+	for i, a := range r.Attrs {
+		if a.Name == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrNames returns the attribute names in declaration order.
+func (r RecordType) AttrNames() []string {
+	names := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Contains reports whether the tuple satisfies the record type's domain
+// predicate: correct arity and every attribute within its scalar domain.
+func (r RecordType) Contains(t value.Tuple) bool {
+	if len(t) != len(r.Attrs) {
+		return false
+	}
+	for i, a := range r.Attrs {
+		if !a.Type.Contains(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibleWith reports positional structural compatibility: equal arity and
+// pairwise same scalar domains. Attribute names are remapped positionally, as
+// in the paper's ahead constructor whose first branch yields infrontrel
+// tuples (front, back) for an aheadrel result (head, tail).
+func (r RecordType) CompatibleWith(o RecordType) bool {
+	if len(r.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if !r.Attrs[i].Type.SameDomain(o.Attrs[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// KindCompatibleWith reports weak positional compatibility: equal arity and
+// pairwise equal scalar kinds, ignoring subrange bounds. Assignments between
+// kind-compatible types are accepted statically and domain-checked at run
+// time — exactly the run-time test the paper's type checker emits for
+// subrange types (section 2.1).
+func (r RecordType) KindCompatibleWith(o RecordType) bool {
+	if len(r.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range r.Attrs {
+		if r.Attrs[i].Type.Kind != o.Attrs[i].Type.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the record type in DBPL syntax.
+func (r RecordType) String() string {
+	var b strings.Builder
+	b.WriteString("RECORD ")
+	for i, a := range r.Attrs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", a.Name, a.Type.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// RelationType is the paper's RELATION key OF elementtype: a set type over a
+// record element type annotated with a key constraint. An empty Key means the
+// whole tuple is the key (pure set semantics), which is the natural typing of
+// derived relations such as aheadrel.
+type RelationType struct {
+	Name    string
+	Element RecordType
+	Key     []string // key attribute names; empty = all attributes
+}
+
+// NewRelationType builds a relation type.
+func NewRelationType(name string, elem RecordType, key ...string) RelationType {
+	return RelationType{Name: name, Element: elem, Key: key}
+}
+
+// KeyPositions returns the attribute positions forming the key. For an empty
+// Key it returns all positions.
+func (rt RelationType) KeyPositions() []int {
+	if len(rt.Key) == 0 {
+		all := make([]int, rt.Element.Arity())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	pos := make([]int, len(rt.Key))
+	for i, k := range rt.Key {
+		p := rt.Element.IndexOf(k)
+		if p < 0 {
+			panic(fmt.Sprintf("schema: relation type %q: key attribute %q not in element type", rt.Name, k))
+		}
+		pos[i] = p
+	}
+	return pos
+}
+
+// CompatibleWith reports positional structural compatibility of the element
+// types (keys are checked dynamically on assignment, as in the paper).
+func (rt RelationType) CompatibleWith(o RelationType) bool {
+	return rt.Element.CompatibleWith(o.Element)
+}
+
+// String renders the relation type in DBPL syntax.
+func (rt RelationType) String() string {
+	if len(rt.Key) == 0 {
+		return fmt.Sprintf("RELATION OF %s", rt.Element.String())
+	}
+	return fmt.Sprintf("RELATION %s OF %s", strings.Join(rt.Key, ", "), rt.Element.String())
+}
+
+// Validate checks internal consistency: distinct attribute names and key
+// attributes that exist in the element type.
+func (rt RelationType) Validate() error {
+	seen := make(map[string]bool, len(rt.Element.Attrs))
+	for _, a := range rt.Element.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema: relation type %q has an unnamed attribute", rt.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("schema: relation type %q has duplicate attribute %q", rt.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, k := range rt.Key {
+		if rt.Element.IndexOf(k) < 0 {
+			return fmt.Errorf("schema: relation type %q: key attribute %q not in element type", rt.Name, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestSubrangeContains(t *testing.T) {
+	// The paper's partidtype IS RANGE 1..100.
+	partid := RangeType("partidtype", 1, 100)
+	for _, c := range []struct {
+		v    value.Value
+		want bool
+	}{
+		{value.Int(1), true}, {value.Int(100), true}, {value.Int(0), false},
+		{value.Int(101), false}, {value.Str("x"), false},
+	} {
+		if got := partid.Contains(c.v); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCardinalIsNonNegative(t *testing.T) {
+	c := CardinalType()
+	if c.Contains(value.Int(-1)) {
+		t.Error("CARDINAL must reject negatives")
+	}
+	if !c.Contains(value.Int(0)) {
+		t.Error("CARDINAL must accept 0")
+	}
+}
+
+func TestAssignableFrom(t *testing.T) {
+	wide := RangeType("wide", 0, 100)
+	narrow := RangeType("narrow", 10, 20)
+	if !wide.AssignableFrom(narrow) {
+		t.Error("narrow -> wide must be statically assignable")
+	}
+	if narrow.AssignableFrom(wide) {
+		t.Error("wide -> narrow needs a runtime check")
+	}
+	if !IntType().AssignableFrom(narrow) {
+		t.Error("subrange -> INTEGER must be assignable")
+	}
+	if IntType().AssignableFrom(StringType()) {
+		t.Error("cross-kind assignment must be rejected")
+	}
+}
+
+func TestSameDomainIsStructural(t *testing.T) {
+	a := RangeType("a", 1, 5)
+	b := RangeType("differently_named", 1, 5)
+	if !a.SameDomain(b) {
+		t.Error("equal bounds must be the same domain regardless of name")
+	}
+	if a.SameDomain(RangeType("c", 1, 6)) {
+		t.Error("different bounds differ")
+	}
+}
+
+func recXY() RecordType {
+	return RecordType{Attrs: []Attribute{
+		{Name: "x", Type: StringType()},
+		{Name: "y", Type: StringType()},
+	}}
+}
+
+func TestRecordContains(t *testing.T) {
+	r := recXY()
+	if !r.Contains(value.NewTuple(value.Str("a"), value.Str("b"))) {
+		t.Error("valid tuple rejected")
+	}
+	if r.Contains(value.NewTuple(value.Str("a"))) {
+		t.Error("wrong arity accepted")
+	}
+	if r.Contains(value.NewTuple(value.Str("a"), value.Int(1))) {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestPositionalCompatibility(t *testing.T) {
+	// The crux of the paper's ahead constructor: (front, back) tuples are
+	// positionally compatible with (head, tail).
+	infront := recXY()
+	ahead := RecordType{Attrs: []Attribute{
+		{Name: "head", Type: StringType()},
+		{Name: "tail", Type: StringType()},
+	}}
+	if !infront.CompatibleWith(ahead) {
+		t.Error("attribute names must not matter for compatibility")
+	}
+	mixed := RecordType{Attrs: []Attribute{
+		{Name: "head", Type: StringType()},
+		{Name: "tail", Type: IntType()},
+	}}
+	if infront.CompatibleWith(mixed) {
+		t.Error("kinds must matter")
+	}
+	if !infront.KindCompatibleWith(ahead) {
+		t.Error("kind compatibility must hold")
+	}
+}
+
+func TestKindCompatibleIgnoresSubranges(t *testing.T) {
+	a := RecordType{Attrs: []Attribute{{Name: "n", Type: IntType()}}}
+	b := RecordType{Attrs: []Attribute{{Name: "n", Type: RangeType("s", 0, 5)}}}
+	if a.CompatibleWith(b) {
+		t.Error("strict compatibility must distinguish subranges")
+	}
+	if !a.KindCompatibleWith(b) {
+		t.Error("kind compatibility must not")
+	}
+}
+
+func TestRelationTypeKeyPositions(t *testing.T) {
+	rt := NewRelationType("t", recXY(), "y")
+	if got := rt.KeyPositions(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("KeyPositions: %v", got)
+	}
+	all := NewRelationType("t", recXY())
+	if got := all.KeyPositions(); len(got) != 2 {
+		t.Errorf("empty key must mean all positions: %v", got)
+	}
+}
+
+func TestRelationTypeValidate(t *testing.T) {
+	bad := NewRelationType("t", recXY(), "z")
+	if bad.Validate() == nil {
+		t.Error("key over missing attribute must fail validation")
+	}
+	dup := NewRelationType("t", RecordType{Attrs: []Attribute{
+		{Name: "x", Type: StringType()}, {Name: "x", Type: StringType()},
+	}})
+	if dup.Validate() == nil {
+		t.Error("duplicate attribute must fail validation")
+	}
+	if err := NewRelationType("t", recXY(), "x").Validate(); err != nil {
+		t.Errorf("valid type rejected: %v", err)
+	}
+}
+
+func TestTypeRendering(t *testing.T) {
+	rt := NewRelationType("t", recXY(), "x")
+	want := "RELATION x OF RECORD x: STRING; y: STRING END"
+	if rt.String() != want {
+		t.Errorf("String: %q, want %q", rt.String(), want)
+	}
+	if RangeType("", 1, 3).String() != "RANGE 1..3" {
+		t.Errorf("range rendering: %q", RangeType("", 1, 3).String())
+	}
+}
+
+func TestIndexOfAndAttrNames(t *testing.T) {
+	r := recXY()
+	if r.IndexOf("y") != 1 || r.IndexOf("nope") != -1 {
+		t.Error("IndexOf failed")
+	}
+	names := r.AttrNames()
+	if len(names) != 2 || names[0] != "x" {
+		t.Errorf("AttrNames: %v", names)
+	}
+}

@@ -1,0 +1,300 @@
+package store
+
+// Binary persistence for databases: a small self-describing format (magic,
+// version, per-variable type descriptor and tuple block). The format is
+// deliberately simple — length-prefixed strings, varint counts — and
+// round-trips every schema feature (subranges, keys).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+const (
+	magic   = "DBPLSTOR"
+	version = 1
+)
+
+func writeUvarint(w *bufio.Writer, u uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], u)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("store: corrupt string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w *bufio.Writer, v value.Value) error {
+	if err := w.WriteByte(byte(v.Kind())); err != nil {
+		return err
+	}
+	switch v.Kind() {
+	case value.KindInt:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.AsInt())
+		_, err := w.Write(buf[:n])
+		return err
+	case value.KindString:
+		return writeString(w, v.AsString())
+	case value.KindBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		return w.WriteByte(b)
+	default:
+		return fmt.Errorf("store: cannot persist invalid value")
+	}
+}
+
+func readValue(r *bufio.Reader) (value.Value, error) {
+	k, err := r.ReadByte()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch value.Kind(k) {
+	case value.KindInt:
+		i, err := binary.ReadVarint(r)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Int(i), nil
+	case value.KindString:
+		s, err := readString(r)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Str(s), nil
+	case value.KindBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bool(b != 0), nil
+	default:
+		return value.Value{}, fmt.Errorf("store: corrupt value kind %d", k)
+	}
+}
+
+func writeScalarType(w *bufio.Writer, t schema.ScalarType) error {
+	if err := writeString(w, t.Name); err != nil {
+		return err
+	}
+	if err := w.WriteByte(byte(t.Kind)); err != nil {
+		return err
+	}
+	hb := byte(0)
+	if t.HasRange {
+		hb = 1
+	}
+	if err := w.WriteByte(hb); err != nil {
+		return err
+	}
+	if t.HasRange {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], t.Lo)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutVarint(buf[:], t.Hi)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readScalarType(r *bufio.Reader) (schema.ScalarType, error) {
+	var t schema.ScalarType
+	var err error
+	if t.Name, err = readString(r); err != nil {
+		return t, err
+	}
+	k, err := r.ReadByte()
+	if err != nil {
+		return t, err
+	}
+	t.Kind = value.Kind(k)
+	hb, err := r.ReadByte()
+	if err != nil {
+		return t, err
+	}
+	if hb != 0 {
+		t.HasRange = true
+		if t.Lo, err = binary.ReadVarint(r); err != nil {
+			return t, err
+		}
+		if t.Hi, err = binary.ReadVarint(r); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Save writes the database (types and contents) to w.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.vars))
+	for n := range db.vars {
+		names = append(names, n)
+	}
+	// Deterministic output order.
+	sort.Strings(names)
+	if err := writeUvarint(bw, uint64(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		typ := db.typs[name]
+		rel := db.vars[name]
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		if err := writeString(bw, typ.Name); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(typ.Element.Arity())); err != nil {
+			return err
+		}
+		for _, a := range typ.Element.Attrs {
+			if err := writeString(bw, a.Name); err != nil {
+				return err
+			}
+			if err := writeScalarType(bw, a.Type); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(bw, uint64(len(typ.Key))); err != nil {
+			return err
+		}
+		for _, k := range typ.Key {
+			if err := writeString(bw, k); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(bw, uint64(rel.Len())); err != nil {
+			return err
+		}
+		for _, t := range rel.Tuples() {
+			for _, v := range t {
+				if err := writeValue(bw, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a database previously written by Save.
+func Load(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("store: not a DBPL store file")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+	nVars, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for i := uint64(0); i < nVars; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		typName, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]schema.Attribute, arity)
+		for j := range attrs {
+			if attrs[j].Name, err = readString(br); err != nil {
+				return nil, err
+			}
+			if attrs[j].Type, err = readScalarType(br); err != nil {
+				return nil, err
+			}
+		}
+		nKey, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		key := make([]string, nKey)
+		for j := range key {
+			if key[j], err = readString(br); err != nil {
+				return nil, err
+			}
+		}
+		typ := schema.RelationType{Name: typName, Element: schema.RecordType{Attrs: attrs}, Key: key}
+		if err := db.Declare(name, typ); err != nil {
+			return nil, err
+		}
+		nTuples, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rel, _ := db.Get(name)
+		for j := uint64(0); j < nTuples; j++ {
+			tup := make(value.Tuple, arity)
+			for k := range tup {
+				if tup[k], err = readValue(br); err != nil {
+					return nil, err
+				}
+			}
+			if err := rel.Insert(tup); err != nil {
+				return nil, err
+			}
+		}
+		_ = rel
+	}
+	return db, nil
+}

@@ -1,0 +1,264 @@
+// Package store implements the database-variable layer of the DBPL
+// environment: named, typed relation variables with the paper's guarded
+// assignment semantics (section 2.2–2.3), snapshot transactions, and binary
+// persistence.
+//
+// Assignment to a relation variable re-checks the key constraint (the
+// run-time test of section 2.2) and any selector guards: the paper defines
+// assignment through a selected relation variable, Infront[refint] := rex,
+// to be equivalent to
+//
+//	IF ALL x IN rex (pred(x)) THEN Infront := rex ELSE <exception>
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Guard is a tuple predicate enforced on assignment (a selector's predicate
+// with its parameters instantiated).
+type Guard struct {
+	Name string
+	Pred func(value.Tuple) (bool, error)
+}
+
+// GuardViolationError reports a tuple rejected by a selector guard.
+type GuardViolationError struct {
+	Variable string
+	Guard    string
+	Tuple    value.Tuple
+}
+
+// Error implements error.
+func (e *GuardViolationError) Error() string {
+	return fmt.Sprintf("store: assignment to %s[%s] rejected: tuple %s violates the selector predicate",
+		e.Variable, e.Guard, e.Tuple)
+}
+
+// Database is a set of named, typed relation variables.
+type Database struct {
+	mu   sync.RWMutex
+	vars map[string]*relation.Relation
+	typs map[string]schema.RelationType
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		vars: make(map[string]*relation.Relation),
+		typs: make(map[string]schema.RelationType),
+	}
+}
+
+// Declare introduces a variable of the given type, initialized empty.
+func (db *Database) Declare(name string, typ schema.RelationType) error {
+	if err := typ.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.vars[name]; dup {
+		return fmt.Errorf("store: variable %q already declared", name)
+	}
+	db.vars[name] = relation.New(typ)
+	db.typs[name] = typ
+	return nil
+}
+
+// Get returns the current value of a variable. The returned relation is the
+// live value; callers must not mutate it (use Assign).
+func (db *Database) Get(name string) (*relation.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.vars[name]
+	return r, ok
+}
+
+// Type returns the declared type of a variable.
+func (db *Database) Type(name string) (schema.RelationType, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.typs[name]
+	return t, ok
+}
+
+// Names returns the declared variable names, sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.vars))
+	for n := range db.vars {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkedValue re-types rex into the variable's declared type, enforcing the
+// key constraint and element domains, and applies the guards.
+func checkedValue(name string, typ schema.RelationType, rex *relation.Relation, guards []Guard) (*relation.Relation, error) {
+	// Kind compatibility statically; the per-tuple Insert below re-checks
+	// the element domains (subranges) and the key constraint.
+	if !rex.Type().Element.KindCompatibleWith(typ.Element) {
+		return nil, fmt.Errorf("store: cannot assign %s to %q of type %s",
+			rex.Type().Element, name, typ.Element)
+	}
+	out := relation.New(typ)
+	var failure error
+	rex.Each(func(t value.Tuple) bool {
+		for _, g := range guards {
+			ok, err := g.Pred(t)
+			if err != nil {
+				failure = err
+				return false
+			}
+			if !ok {
+				failure = &GuardViolationError{Variable: name, Guard: g.Name, Tuple: t}
+				return false
+			}
+		}
+		if err := out.Insert(t); err != nil {
+			failure = err
+			return false
+		}
+		return true
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	return out, nil
+}
+
+// Assign replaces the variable's value with rex after re-checking the key
+// constraint and the given guards. On any violation the variable keeps its
+// previous value (assignment is atomic, as the paper's conditional pattern
+// requires).
+func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	typ, ok := db.typs[name]
+	if !ok {
+		return fmt.Errorf("store: assignment to undeclared variable %q", name)
+	}
+	out, err := checkedValue(name, typ, rex, guards)
+	if err != nil {
+		return err
+	}
+	db.vars[name] = out
+	return nil
+}
+
+// Insert adds tuples to a variable in place, under the key constraint.
+func (db *Database) Insert(name string, tuples ...value.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.vars[name]
+	if !ok {
+		return fmt.Errorf("store: insert into undeclared variable %q", name)
+	}
+	for _, t := range tuples {
+		if err := r.Insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+// Tx is a snapshot transaction: reads see the database as of Begin plus the
+// transaction's own writes; Commit publishes all writes atomically (last
+// writer wins, as DBPL transactions are serialized); Rollback discards them.
+type Tx struct {
+	db      *Database
+	overlay map[string]*relation.Relation
+	base    map[string]*relation.Relation
+	done    bool
+}
+
+// Begin starts a transaction over a stable snapshot.
+func (db *Database) Begin() *Tx {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	base := make(map[string]*relation.Relation, len(db.vars))
+	for n, r := range db.vars {
+		base[n] = r
+	}
+	return &Tx{db: db, base: base, overlay: make(map[string]*relation.Relation)}
+}
+
+// Get reads a variable inside the transaction.
+func (tx *Tx) Get(name string) (*relation.Relation, bool) {
+	if r, ok := tx.overlay[name]; ok {
+		return r, true
+	}
+	r, ok := tx.base[name]
+	return r, ok
+}
+
+// Assign writes a variable inside the transaction (checked like
+// Database.Assign).
+func (tx *Tx) Assign(name string, rex *relation.Relation, guards ...Guard) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already finished")
+	}
+	typ, ok := tx.db.Type(name)
+	if !ok {
+		return fmt.Errorf("store: assignment to undeclared variable %q", name)
+	}
+	out, err := checkedValue(name, typ, rex, guards)
+	if err != nil {
+		return err
+	}
+	tx.overlay[name] = out
+	return nil
+}
+
+// Insert adds tuples inside the transaction, copying on first write.
+func (tx *Tx) Insert(name string, tuples ...value.Tuple) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already finished")
+	}
+	cur, ok := tx.Get(name)
+	if !ok {
+		return fmt.Errorf("store: insert into undeclared variable %q", name)
+	}
+	if _, own := tx.overlay[name]; !own {
+		cur = cur.Clone()
+	}
+	for _, t := range tuples {
+		if err := cur.Insert(t); err != nil {
+			return err
+		}
+	}
+	tx.overlay[name] = cur
+	return nil
+}
+
+// Commit publishes the transaction's writes atomically.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already finished")
+	}
+	tx.done = true
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	for n, r := range tx.overlay {
+		tx.db.vars[n] = r
+	}
+	return nil
+}
+
+// Rollback discards the transaction's writes.
+func (tx *Tx) Rollback() {
+	tx.done = true
+	tx.overlay = nil
+}

@@ -1,0 +1,771 @@
+// Package typecheck implements the static semantics of the DBPL subset: the
+// type calculus of section 2 (named scalar, record, and relation types with
+// key constraints) and the compile-time checking of selector and constructor
+// declarations and statements. Together with the positivity analysis it forms
+// the "type-checking level" of the paper's three-level compilation framework
+// (section 4).
+package typecheck
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/positivity"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Error is a type error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Pos == (ast.Pos{}) {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos ast.Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ConstructorSig is the resolved signature of a constructor.
+type ConstructorSig struct {
+	Decl    *ast.ConstructorDecl
+	ForType schema.RelationType
+	Params  []ResolvedParam
+	Result  schema.RelationType
+}
+
+// SelectorSig is the resolved signature of a selector.
+type SelectorSig struct {
+	Decl    *ast.SelectorDecl
+	ForType schema.RelationType
+	Params  []ResolvedParam
+}
+
+// ResolvedParam is a formal parameter with its resolved type; exactly one of
+// Scalar/Rel applies.
+type ResolvedParam struct {
+	Name     string
+	IsScalar bool
+	Scalar   schema.ScalarType
+	Rel      schema.RelationType
+}
+
+// Checker accumulates the static environment of a module.
+type Checker struct {
+	Scalars      map[string]schema.ScalarType
+	Records      map[string]schema.RecordType
+	RelTypes     map[string]schema.RelationType
+	Vars         map[string]schema.RelationType
+	Selectors    map[string]*SelectorSig
+	Constructors map[string]*ConstructorSig
+	// Strict applies the paper's positivity requirement to constructor
+	// declarations at check time.
+	Strict bool
+}
+
+// New returns a checker pre-populated with the built-in scalar types.
+func New() *Checker {
+	return &Checker{
+		Scalars: map[string]schema.ScalarType{
+			"INTEGER":  schema.IntType(),
+			"CARDINAL": schema.CardinalType(),
+			"STRING":   schema.StringType(),
+			"BOOLEAN":  schema.BoolType(),
+		},
+		Records:      make(map[string]schema.RecordType),
+		RelTypes:     make(map[string]schema.RelationType),
+		Vars:         make(map[string]schema.RelationType),
+		Selectors:    make(map[string]*SelectorSig),
+		Constructors: make(map[string]*ConstructorSig),
+		Strict:       true,
+	}
+}
+
+// scope is the local static environment inside declarations and branches.
+type scope struct {
+	tupleVars map[string]schema.RecordType
+	scalars   map[string]schema.ScalarType
+	rels      map[string]schema.RelationType
+}
+
+func (c *Checker) newScope() *scope {
+	return &scope{
+		tupleVars: make(map[string]schema.RecordType),
+		scalars:   make(map[string]schema.ScalarType),
+		rels:      make(map[string]schema.RelationType),
+	}
+}
+
+func (s *scope) clone() *scope {
+	c := &scope{
+		tupleVars: make(map[string]schema.RecordType, len(s.tupleVars)),
+		scalars:   make(map[string]schema.ScalarType, len(s.scalars)),
+		rels:      make(map[string]schema.RelationType, len(s.rels)),
+	}
+	for k, v := range s.tupleVars {
+		c.tupleVars[k] = v
+	}
+	for k, v := range s.scalars {
+		c.scalars[k] = v
+	}
+	for k, v := range s.rels {
+		c.rels[k] = v
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Type expression resolution
+// ---------------------------------------------------------------------------
+
+// ResolveScalar resolves a type expression to a scalar type.
+func (c *Checker) ResolveScalar(te ast.TypeExpr) (schema.ScalarType, error) {
+	switch t := te.(type) {
+	case ast.NamedType:
+		if st, ok := c.Scalars[t.Name]; ok {
+			return st, nil
+		}
+		return schema.ScalarType{}, errf(t.Pos, "unknown scalar type %q", t.Name)
+	case ast.RangeTypeExpr:
+		if t.Lo > t.Hi {
+			return schema.ScalarType{}, errf(t.Pos, "empty subrange %d..%d", t.Lo, t.Hi)
+		}
+		return schema.RangeType("", t.Lo, t.Hi), nil
+	default:
+		return schema.ScalarType{}, errf(ast.Pos{}, "%s is not a scalar type", te)
+	}
+}
+
+// ResolveRecord resolves a type expression to a record type.
+func (c *Checker) ResolveRecord(te ast.TypeExpr) (schema.RecordType, error) {
+	switch t := te.(type) {
+	case ast.NamedType:
+		if rt, ok := c.Records[t.Name]; ok {
+			return rt, nil
+		}
+		return schema.RecordType{}, errf(t.Pos, "unknown record type %q", t.Name)
+	case ast.RecordTypeExpr:
+		var attrs []schema.Attribute
+		for _, fg := range t.Fields {
+			st, err := c.ResolveScalar(fg.Type)
+			if err != nil {
+				return schema.RecordType{}, err
+			}
+			for _, n := range fg.Names {
+				attrs = append(attrs, schema.Attribute{Name: n, Type: st})
+			}
+		}
+		return schema.RecordType{Attrs: attrs}, nil
+	default:
+		return schema.RecordType{}, errf(ast.Pos{}, "%s is not a record type", te)
+	}
+}
+
+// ResolveRelation resolves a type expression to a relation type.
+func (c *Checker) ResolveRelation(te ast.TypeExpr) (schema.RelationType, error) {
+	switch t := te.(type) {
+	case ast.NamedType:
+		if rt, ok := c.RelTypes[t.Name]; ok {
+			return rt, nil
+		}
+		return schema.RelationType{}, errf(t.Pos, "unknown relation type %q", t.Name)
+	case ast.RelationTypeExpr:
+		elem, err := c.ResolveRecord(t.Elem)
+		if err != nil {
+			return schema.RelationType{}, err
+		}
+		rt := schema.RelationType{Element: elem, Key: t.Key}
+		if err := rt.Validate(); err != nil {
+			return schema.RelationType{}, errf(t.Pos, "%v", err)
+		}
+		return rt, nil
+	default:
+		return schema.RelationType{}, errf(ast.Pos{}, "%s is not a relation type", te)
+	}
+}
+
+func (c *Checker) resolveParams(params []ast.FormalParam) ([]ResolvedParam, error) {
+	out := make([]ResolvedParam, len(params))
+	for i, p := range params {
+		if rt, err := c.ResolveRelation(p.Type); err == nil {
+			out[i] = ResolvedParam{Name: p.Name, Rel: rt}
+			continue
+		}
+		st, err := c.ResolveScalar(p.Type)
+		if err != nil {
+			return nil, errf(p.Pos, "parameter %q: %s is neither a relation nor a scalar type", p.Name, p.Type)
+		}
+		out[i] = ResolvedParam{Name: p.Name, IsScalar: true, Scalar: st}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Module checking
+// ---------------------------------------------------------------------------
+
+// CheckModule checks all declarations and statements of a module, populating
+// the checker's environment. Checking proceeds in phases so that mutually
+// recursive constructors (the paper's ahead/above pair) type-check regardless
+// of declaration order: types and variables first, then all constructor
+// signatures, then selector declarations, then constructor bodies, then
+// statements. It returns the first error found.
+func (c *Checker) CheckModule(m *ast.Module) error {
+	for _, d := range m.Decls {
+		switch t := d.(type) {
+		case *ast.TypeDecl:
+			if err := c.checkTypeDecl(t); err != nil {
+				return err
+			}
+		case *ast.VarDecl:
+			if err := c.checkVarDecl(t); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.PreRegisterConstructors(m); err != nil {
+		return err
+	}
+	for _, d := range m.Decls {
+		if t, ok := d.(*ast.SelectorDecl); ok {
+			if err := c.checkSelectorDecl(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, d := range m.Decls {
+		if t, ok := d.(*ast.ConstructorDecl); ok {
+			if _, err := c.CheckConstructorDecl(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range m.Stmts {
+		if err := c.CheckStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckDecl checks one declaration and records it.
+func (c *Checker) CheckDecl(d ast.Decl) error {
+	switch t := d.(type) {
+	case *ast.TypeDecl:
+		return c.checkTypeDecl(t)
+	case *ast.VarDecl:
+		return c.checkVarDecl(t)
+	case *ast.SelectorDecl:
+		return c.checkSelectorDecl(t)
+	case *ast.ConstructorDecl:
+		_, err := c.CheckConstructorDecl(t)
+		return err
+	default:
+		return errf(ast.Pos{}, "unknown declaration %T", d)
+	}
+}
+
+func (c *Checker) defined(name string) bool {
+	if _, ok := c.Scalars[name]; ok {
+		return true
+	}
+	if _, ok := c.Records[name]; ok {
+		return true
+	}
+	_, ok := c.RelTypes[name]
+	return ok
+}
+
+func (c *Checker) checkTypeDecl(d *ast.TypeDecl) error {
+	if c.defined(d.Name) {
+		return errf(d.Pos, "type %q already defined", d.Name)
+	}
+	switch te := d.Type.(type) {
+	case ast.RelationTypeExpr:
+		rt, err := c.ResolveRelation(te)
+		if err != nil {
+			return err
+		}
+		rt.Name = d.Name
+		c.RelTypes[d.Name] = rt
+	case ast.RecordTypeExpr:
+		rec, err := c.ResolveRecord(te)
+		if err != nil {
+			return err
+		}
+		rec.Name = d.Name
+		c.Records[d.Name] = rec
+	default:
+		st, err := c.ResolveScalar(d.Type)
+		if err != nil {
+			return err
+		}
+		st.Name = d.Name
+		c.Scalars[d.Name] = st
+	}
+	return nil
+}
+
+func (c *Checker) checkVarDecl(d *ast.VarDecl) error {
+	rt, err := c.ResolveRelation(d.Type)
+	if err != nil {
+		return errf(d.Pos, "variable declaration: %v", err)
+	}
+	for _, n := range d.Names {
+		if _, dup := c.Vars[n]; dup {
+			return errf(d.Pos, "variable %q already declared", n)
+		}
+		c.Vars[n] = rt
+	}
+	return nil
+}
+
+func (c *Checker) checkSelectorDecl(d *ast.SelectorDecl) error {
+	if _, dup := c.Selectors[d.Name]; dup {
+		return errf(d.Pos, "selector %q already defined", d.Name)
+	}
+	forType, err := c.ResolveRelation(d.ForType)
+	if err != nil {
+		return errf(d.Pos, "selector %q: %v", d.Name, err)
+	}
+	params, err := c.resolveParams(d.Params)
+	if err != nil {
+		return err
+	}
+	sc := c.newScope()
+	for _, p := range params {
+		if p.IsScalar {
+			sc.scalars[p.Name] = p.Scalar
+		} else {
+			sc.rels[p.Name] = p.Rel
+		}
+	}
+	sc.rels[d.ForVar] = forType
+	sc.tupleVars[d.BodyVar] = forType.Element
+	if err := c.checkPred(d.Where, sc); err != nil {
+		return fmt.Errorf("selector %q: %w", d.Name, err)
+	}
+	c.Selectors[d.Name] = &SelectorSig{Decl: d, ForType: forType, Params: params}
+	return nil
+}
+
+// CheckConstructorDecl checks and records a constructor declaration,
+// returning its resolved signature. Note the two-pass scheme: the signature
+// is registered before the body is checked so that self- and forward-
+// referencing applications type-check (mutual recursion needs the partner's
+// signature; callers declaring mutually recursive constructors should use
+// CheckModule, which registers signatures in declaration order — forward
+// references are resolved by a pre-registration pass there).
+func (c *Checker) CheckConstructorDecl(d *ast.ConstructorDecl) (*ConstructorSig, error) {
+	sig, ok := c.Constructors[d.Name]
+	if ok && sig.Decl != d {
+		return nil, errf(d.Pos, "constructor %q already defined", d.Name)
+	}
+	if sig == nil {
+		var err error
+		sig, err = c.resolveConstructorSig(d)
+		if err != nil {
+			return nil, err
+		}
+		c.Constructors[d.Name] = sig
+	}
+
+	sc := c.newScope()
+	sc.rels[d.ForVar] = sig.ForType
+	for _, p := range sig.Params {
+		if p.IsScalar {
+			sc.scalars[p.Name] = p.Scalar
+		} else {
+			sc.rels[p.Name] = p.Rel
+		}
+	}
+	if _, err := c.checkSetExpr(d.Body, sc, &sig.Result.Element); err != nil {
+		delete(c.Constructors, d.Name)
+		return nil, fmt.Errorf("constructor %q: %w", d.Name, err)
+	}
+	if c.Strict {
+		if rep := positivity.CheckConstructor(d); !rep.Positive() {
+			delete(c.Constructors, d.Name)
+			return nil, fmt.Errorf("constructor %q: %v", d.Name, rep.Error())
+		}
+	}
+	return sig, nil
+}
+
+func (c *Checker) resolveConstructorSig(d *ast.ConstructorDecl) (*ConstructorSig, error) {
+	forType, err := c.ResolveRelation(d.ForType)
+	if err != nil {
+		return nil, errf(d.Pos, "constructor %q: %v", d.Name, err)
+	}
+	params, err := c.resolveParams(d.Params)
+	if err != nil {
+		return nil, err
+	}
+	result, err := c.ResolveRelation(d.Result)
+	if err != nil {
+		return nil, errf(d.Pos, "constructor %q result: %v", d.Name, err)
+	}
+	return &ConstructorSig{Decl: d, ForType: forType, Params: params, Result: result}, nil
+}
+
+// PreRegisterConstructors resolves the signatures of all constructor
+// declarations in a module before their bodies are checked, enabling mutual
+// recursion regardless of declaration order (the paper's ahead/above pair
+// references each other).
+func (c *Checker) PreRegisterConstructors(m *ast.Module) error {
+	for _, d := range m.Decls {
+		cd, ok := d.(*ast.ConstructorDecl)
+		if !ok {
+			continue
+		}
+		if _, dup := c.Constructors[cd.Name]; dup {
+			return errf(cd.Pos, "constructor %q already defined", cd.Name)
+		}
+		sig, err := c.resolveConstructorSig(cd)
+		if err != nil {
+			return err
+		}
+		c.Constructors[cd.Name] = sig
+	}
+	return nil
+}
+
+// CheckStmt checks a statement against the accumulated environment.
+func (c *Checker) CheckStmt(s ast.Stmt) error {
+	switch t := s.(type) {
+	case *ast.Show:
+		sc := c.newScope()
+		_, err := c.typeOfRange(t.Expr, sc)
+		return err
+	case *ast.Assign:
+		varType, ok := c.Vars[t.Target]
+		if !ok {
+			return errf(t.Pos, "assignment to undeclared variable %q", t.Target)
+		}
+		cur := varType
+		for i := range t.Suffixes {
+			nt, err := c.typeOfSuffix(cur, &t.Suffixes[i], c.newScope())
+			if err != nil {
+				return err
+			}
+			cur = nt
+		}
+		sc := c.newScope()
+		rhs, err := c.typeOfRange(t.Expr, sc)
+		if err != nil {
+			return err
+		}
+		// Kind compatibility suffices statically; subrange domains are
+		// re-checked at run time on assignment (section 2.1).
+		if rhs.Element.Arity() > 0 && !rhs.Element.KindCompatibleWith(cur.Element) {
+			return errf(t.Pos, "cannot assign %s to variable %q of type %s",
+				rhs.Element, t.Target, cur.Element)
+		}
+		return nil
+	default:
+		return errf(ast.Pos{}, "unknown statement %T", s)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expression typing
+// ---------------------------------------------------------------------------
+
+func (c *Checker) typeOfRange(r *ast.Range, sc *scope) (schema.RelationType, error) {
+	var cur schema.RelationType
+	switch {
+	case r.Sub != nil:
+		rec, err := c.checkSetExpr(r.Sub, sc, nil)
+		if err != nil {
+			return schema.RelationType{}, err
+		}
+		cur = schema.RelationType{Element: rec}
+	default:
+		if rt, ok := sc.rels[r.Var]; ok {
+			cur = rt
+		} else if rt, ok := c.Vars[r.Var]; ok {
+			cur = rt
+		} else {
+			return schema.RelationType{}, errf(r.Pos, "unknown relation %q", r.Var)
+		}
+	}
+	for i := range r.Suffixes {
+		nt, err := c.typeOfSuffix(cur, &r.Suffixes[i], sc)
+		if err != nil {
+			return schema.RelationType{}, err
+		}
+		cur = nt
+	}
+	return cur, nil
+}
+
+func (c *Checker) typeOfSuffix(base schema.RelationType, s *ast.Suffix, sc *scope) (schema.RelationType, error) {
+	switch s.Kind {
+	case ast.SuffixSelector:
+		sig, ok := c.Selectors[s.Name]
+		if !ok {
+			return schema.RelationType{}, errf(s.Pos, "unknown selector %q", s.Name)
+		}
+		if !base.CompatibleWith(sig.ForType) {
+			return schema.RelationType{}, errf(s.Pos,
+				"selector %q expects base of type %s, got %s", s.Name, sig.ForType.Element, base.Element)
+		}
+		if err := c.checkArgs(s, sig.Params, sc); err != nil {
+			return schema.RelationType{}, err
+		}
+		return base, nil // selection preserves the base type
+	default:
+		sig, ok := c.Constructors[s.Name]
+		if !ok {
+			return schema.RelationType{}, errf(s.Pos, "unknown constructor %q", s.Name)
+		}
+		if !base.CompatibleWith(sig.ForType) {
+			return schema.RelationType{}, errf(s.Pos,
+				"constructor %q expects base of type %s, got %s", s.Name, sig.ForType.Element, base.Element)
+		}
+		if err := c.checkArgs(s, sig.Params, sc); err != nil {
+			return schema.RelationType{}, err
+		}
+		return sig.Result, nil
+	}
+}
+
+func (c *Checker) checkArgs(s *ast.Suffix, params []ResolvedParam, sc *scope) error {
+	if len(s.Args) != len(params) {
+		return errf(s.Pos, "%q expects %d argument(s), got %d", s.Name, len(params), len(s.Args))
+	}
+	for i, a := range s.Args {
+		p := params[i]
+		if p.IsScalar {
+			var st schema.ScalarType
+			var err error
+			switch {
+			case a.Scalar != nil:
+				st, err = c.typeOfTerm(a.Scalar, sc)
+			case a.Rel != nil && a.Rel.Sub == nil && len(a.Rel.Suffixes) == 0:
+				// Bare identifier: a scalar parameter reference.
+				if pt, ok := sc.scalars[a.Rel.Var]; ok {
+					st = pt
+				} else {
+					err = errf(a.Rel.Pos, "argument %d of %q: %q is not a scalar in scope", i+1, s.Name, a.Rel.Var)
+				}
+			default:
+				err = errf(s.Pos, "argument %d of %q must be scalar", i+1, s.Name)
+			}
+			if err != nil {
+				return err
+			}
+			if st.Kind != p.Scalar.Kind {
+				return errf(s.Pos, "argument %d of %q: expected %s, got %s", i+1, s.Name, p.Scalar, st)
+			}
+			continue
+		}
+		if a.Rel == nil {
+			return errf(s.Pos, "argument %d of %q must be a relation", i+1, s.Name)
+		}
+		at, err := c.typeOfRange(a.Rel, sc)
+		if err != nil {
+			return err
+		}
+		if !at.CompatibleWith(p.Rel) {
+			return errf(s.Pos, "argument %d of %q: expected %s, got %s",
+				i+1, s.Name, p.Rel.Element, at.Element)
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkSetExpr(s *ast.SetExpr, sc *scope, expected *schema.RecordType) (schema.RecordType, error) {
+	if len(s.Branches) == 0 {
+		if expected != nil {
+			return *expected, nil
+		}
+		return schema.RecordType{}, errf(s.Pos, "cannot infer the type of an empty set expression")
+	}
+	var result schema.RecordType
+	if expected != nil {
+		result = *expected
+	}
+	for i := range s.Branches {
+		bt, err := c.checkBranch(&s.Branches[i], sc)
+		if err != nil {
+			return schema.RecordType{}, err
+		}
+		if i == 0 && expected == nil {
+			result = bt
+			continue
+		}
+		if !bt.CompatibleWith(result) {
+			return schema.RecordType{}, errf(s.Branches[i].Pos,
+				"branch %d yields %s, incompatible with %s", i+1, bt, result)
+		}
+	}
+	return result, nil
+}
+
+func (c *Checker) checkBranch(br *ast.Branch, outer *scope) (schema.RecordType, error) {
+	sc := outer.clone()
+	if br.Literal != nil {
+		return c.typeOfTerms(br.Literal, sc)
+	}
+	if len(br.Binds) == 0 {
+		return schema.RecordType{}, errf(br.Pos, "branch has no bindings")
+	}
+	for _, bd := range br.Binds {
+		if _, dup := sc.tupleVars[bd.Var]; dup {
+			return schema.RecordType{}, errf(bd.Pos, "duplicate tuple variable %q", bd.Var)
+		}
+		rt, err := c.typeOfRange(bd.Range, sc)
+		if err != nil {
+			return schema.RecordType{}, err
+		}
+		sc.tupleVars[bd.Var] = rt.Element
+	}
+	if br.Where != nil {
+		if err := c.checkPred(br.Where, sc); err != nil {
+			return schema.RecordType{}, err
+		}
+	}
+	if br.Target == nil {
+		return sc.tupleVars[br.Binds[0].Var], nil
+	}
+	return c.typeOfTerms(br.Target, sc)
+}
+
+func (c *Checker) typeOfTerms(terms []ast.Term, sc *scope) (schema.RecordType, error) {
+	attrs := make([]schema.Attribute, len(terms))
+	used := make(map[string]bool)
+	for i, tm := range terms {
+		st, err := c.typeOfTerm(tm, sc)
+		if err != nil {
+			return schema.RecordType{}, err
+		}
+		name := ""
+		if f, ok := tm.(ast.Field); ok {
+			name = f.Attr
+		}
+		if name == "" || used[name] {
+			name = fmt.Sprintf("a%d", i+1)
+		}
+		used[name] = true
+		attrs[i] = schema.Attribute{Name: name, Type: st}
+	}
+	return schema.RecordType{Attrs: attrs}, nil
+}
+
+func (c *Checker) checkPred(p ast.Pred, sc *scope) error {
+	switch q := p.(type) {
+	case ast.BoolLit:
+		return nil
+	case ast.Cmp:
+		lt, err := c.typeOfTerm(q.L, sc)
+		if err != nil {
+			return err
+		}
+		rt, err := c.typeOfTerm(q.R, sc)
+		if err != nil {
+			return err
+		}
+		if lt.Kind != rt.Kind {
+			return errf(ast.Pos{}, "comparison %s between %s and %s", q.Op, lt, rt)
+		}
+		return nil
+	case ast.And:
+		if err := c.checkPred(q.L, sc); err != nil {
+			return err
+		}
+		return c.checkPred(q.R, sc)
+	case ast.Or:
+		if err := c.checkPred(q.L, sc); err != nil {
+			return err
+		}
+		return c.checkPred(q.R, sc)
+	case ast.Not:
+		return c.checkPred(q.P, sc)
+	case ast.Quant:
+		rt, err := c.typeOfRange(q.Range, sc)
+		if err != nil {
+			return err
+		}
+		inner := sc.clone()
+		inner.tupleVars[q.Var] = rt.Element
+		return c.checkPred(q.Body, inner)
+	case ast.Member:
+		rt, err := c.typeOfRange(q.Range, sc)
+		if err != nil {
+			return err
+		}
+		if q.VarTuple != "" {
+			vt, ok := sc.tupleVars[q.VarTuple]
+			if !ok {
+				return errf(q.Pos, "unbound tuple variable %q", q.VarTuple)
+			}
+			if !vt.CompatibleWith(rt.Element) {
+				return errf(q.Pos, "membership of %s tuple in %s relation", vt, rt.Element)
+			}
+			return nil
+		}
+		mt, err := c.typeOfTerms(q.Terms, sc)
+		if err != nil {
+			return err
+		}
+		if !mt.CompatibleWith(rt.Element) {
+			return errf(q.Pos, "membership of %s tuple in %s relation", mt, rt.Element)
+		}
+		return nil
+	default:
+		return errf(ast.Pos{}, "unknown predicate %T", p)
+	}
+}
+
+func (c *Checker) typeOfTerm(t ast.Term, sc *scope) (schema.ScalarType, error) {
+	switch u := t.(type) {
+	case ast.Const:
+		switch u.Val.Kind() {
+		case value.KindInt:
+			return schema.IntType(), nil
+		case value.KindString:
+			return schema.StringType(), nil
+		default:
+			return schema.BoolType(), nil
+		}
+	case ast.Param:
+		if st, ok := sc.scalars[u.Name]; ok {
+			return st, nil
+		}
+		return schema.ScalarType{}, errf(u.Pos, "unknown scalar %q", u.Name)
+	case ast.Field:
+		rec, ok := sc.tupleVars[u.Var]
+		if !ok {
+			return schema.ScalarType{}, errf(u.Pos, "unbound tuple variable %q", u.Var)
+		}
+		idx := rec.IndexOf(u.Attr)
+		if idx < 0 {
+			return schema.ScalarType{}, errf(u.Pos, "variable %q has no attribute %q (type %s)",
+				u.Var, u.Attr, rec)
+		}
+		return rec.Attrs[idx].Type, nil
+	case ast.Arith:
+		lt, err := c.typeOfTerm(u.L, sc)
+		if err != nil {
+			return schema.ScalarType{}, err
+		}
+		rt, err := c.typeOfTerm(u.R, sc)
+		if err != nil {
+			return schema.ScalarType{}, err
+		}
+		if lt.Kind != schema.IntType().Kind || rt.Kind != schema.IntType().Kind {
+			return schema.ScalarType{}, errf(ast.Pos{}, "arithmetic %s on non-integer operands", u.Op)
+		}
+		return schema.IntType(), nil
+	default:
+		return schema.ScalarType{}, errf(ast.Pos{}, "unknown term %T", t)
+	}
+}

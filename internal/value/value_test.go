@@ -1,0 +1,169 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("AsInt: got %d", got)
+	}
+	if got := Str("hi").AsString(); got != "hi" {
+		t.Errorf("AsString: got %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool roundtrip failed")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt: "INTEGER", KindString: "STRING", KindBool: "BOOLEAN", KindInvalid: "INVALID",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AsInt on string value should panic")
+		}
+	}()
+	Str("x").AsInt()
+}
+
+func TestValueEquality(t *testing.T) {
+	if Int(1) != Int(1) {
+		t.Error("equal ints must compare equal with ==")
+	}
+	if Int(1) == Str("1") {
+		t.Error("int and string must differ")
+	}
+	if Bool(true) == Int(1) {
+		t.Error("bool and int must differ even with same payload")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"7": Int(7), `"a b"`: Str("a b"), "TRUE": Bool(true), "FALSE": Bool(false),
+		"-3": Int(-3),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("%#v.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+// generator for random values.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return Int(r.Int63n(2000) - 1000)
+	case 1:
+		letters := []byte("abcXYZ \"\x00é")
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(b))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+// Generate implements quick.Generator.
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randomValue(r), B: randomValue(r)})
+}
+
+// Property: Compare is antisymmetric and consistent with ==.
+func TestCompareProperties(t *testing.T) {
+	f := func(p valuePair) bool {
+		c1, c2 := p.A.Compare(p.B), p.B.Compare(p.A)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == (p.A == p.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive (total order).
+func TestCompareTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomValue(rng), randomValue(rng), randomValue(rng)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+type tuplePair struct{ A, B Tuple }
+
+// Generate implements quick.Generator.
+func (tuplePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	mk := func() Tuple {
+		n := 1 + r.Intn(4)
+		out := make(Tuple, n)
+		for i := range out {
+			out[i] = randomValue(r)
+		}
+		return out
+	}
+	return reflect.ValueOf(tuplePair{A: mk(), B: mk()})
+}
+
+// Property: Key is injective for equal-arity tuples (the foundation of the
+// relation implementation's set semantics).
+func TestTupleKeyInjective(t *testing.T) {
+	f := func(p tuplePair) bool {
+		if len(p.A) != len(p.B) {
+			return true // only equal arity is required to be injective
+		}
+		return (p.A.Key() == p.B.Key()) == p.A.Equal(p.B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tuple Compare consistent with Equal.
+func TestTupleCompareConsistent(t *testing.T) {
+	f := func(p tuplePair) bool {
+		return (p.A.Compare(p.B) == 0) == (len(p.A) == len(p.B) && p.A.Equal(p.B))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleProject(t *testing.T) {
+	tup := NewTuple(Int(1), Str("x"), Int(3))
+	got := tup.Project([]int{2, 0})
+	want := NewTuple(Int(3), Int(1))
+	if !got.Equal(want) {
+		t.Errorf("Project: got %s, want %s", got, want)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := NewTuple(Str("a"), Int(2))
+	if tup.String() != `<"a", 2>` {
+		t.Errorf("String: got %s", tup.String())
+	}
+}
