@@ -5,6 +5,7 @@ package dbpl_test
 // claim; cmd/dbplbench prints the full tables with derived columns.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -21,6 +22,72 @@ import (
 	"repro/internal/value"
 	"repro/internal/workload"
 )
+
+// BenchmarkPreparedQuery compares the three execution paths of a repeated
+// query string: full re-parse + re-resolution per call (plan cache off), the
+// LRU plan cache consulted by one-shot Query, and an explicit prepared
+// statement. Prepared execution must beat re-parsing.
+func BenchmarkPreparedQuery(b *testing.B) {
+	const module = `
+MODULE bench;
+TYPE parttype   = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+VAR Infront: infrontrel;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+END bench.
+`
+	const query = `Infront[hidden_by("n0032")]`
+	open := func(b *testing.B, opts ...dbpl.Option) *dbpl.DB {
+		b.Helper()
+		db, err := dbpl.Open(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(module); err != nil {
+			b.Fatal(err)
+		}
+		inT := db.Checker.RelTypes["infrontrel"]
+		if err := db.Assign("Infront", workload.EdgesToRelation(inT, workload.Chain(64))); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+
+	b.Run("reparse", func(b *testing.B) {
+		db := open(b, dbpl.WithPlanCacheSize(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan-cache", func(b *testing.B) {
+		db := open(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		db := open(b)
+		stmt, err := db.Prepare(`Infront[hidden_by(Obj)]`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Query(ctx, "n0032"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkE2AheadN measures fixpoint convergence (section 3.1) per shape
 // and strategy.

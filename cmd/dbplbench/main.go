@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/experiments"
 )
@@ -21,6 +23,13 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (E1..E8); empty = all")
 	quick := flag.Bool("quick", false, "smaller workloads")
 	flag.Parse()
+
+	// A long sweep stops cleanly at the next experiment boundary on the
+	// first Ctrl-C; stop() then restores the default handler, so a second
+	// Ctrl-C kills an experiment that is still mid-flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
 
 	e2sizes := []int{16, 32, 64, 128}
 	if *quick {
@@ -44,6 +53,10 @@ func main() {
 	for _, r := range runs {
 		if *exp != "" && r.name != *exp {
 			continue
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(1)
 		}
 		ran = true
 		if err := r.fn(); err != nil {

@@ -3,31 +3,43 @@
 // section 4 (component partition, recursion analysis, per-statement
 // strategy), and executes the module's statements.
 //
+// Execution goes through the session API, so an interrupt (Ctrl-C) or the
+// -timeout flag aborts a runaway recursive constructor mid-fixpoint instead
+// of leaving the process stuck.
+//
 // Usage:
 //
-//	dbplc file.dbpl            # compile and run
-//	dbplc -check file.dbpl     # compile only, report the analysis
-//	dbplc -graph file.dbpl     # print the augmented quant graph (DOT)
-//	dbplc -lax file.dbpl       # admit non-positive constructors
+//	dbplc file.dbpl             # compile and run
+//	dbplc -check file.dbpl      # compile only, report the analysis
+//	dbplc -graph file.dbpl      # print the augmented quant graph (DOT)
+//	dbplc -lax file.dbpl        # admit non-positive constructors
+//	dbplc -naive file.dbpl      # use the paper's naive fixpoint loop
+//	dbplc -timeout 10s f.dbpl   # bound total execution time
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	dbpl "repro"
 
 	"repro/internal/compile"
-	"repro/internal/store"
 )
 
 func main() {
 	checkOnly := flag.Bool("check", false, "compile only; print the analysis")
 	graph := flag.Bool("graph", false, "print the augmented quant graph in DOT")
 	lax := flag.Bool("lax", false, "admit non-positive constructors (section 3.3 escape hatch)")
+	naive := flag.Bool("naive", false, "use the naive REPEAT..UNTIL fixpoint strategy")
+	timeout := flag.Duration("timeout", 0, "abort execution after this duration (0 = no limit)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] file.dbpl")
+		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] [-naive] [-timeout d] file.dbpl")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -36,18 +48,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	prog, err := compile.Compile(string(src), compile.Options{Strict: !*lax})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
-		os.Exit(1)
-	}
-
-	if *graph {
-		fmt.Print(prog.Graph.DOT())
-		return
-	}
-
-	if *checkOnly {
+	if *graph || *checkOnly {
+		prog, err := compile.Compile(string(src), compile.Options{Strict: !*lax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+			os.Exit(1)
+		}
+		if *graph {
+			fmt.Print(prog.Graph.DOT())
+			return
+		}
 		fmt.Printf("module %s: OK\n", prog.Module.Name)
 		for name, rep := range prog.Positivity {
 			fmt.Printf("  constructor %-12s positive=%v occurrences=%d\n",
@@ -62,13 +72,32 @@ func main() {
 		return
 	}
 
-	rt, err := compile.NewRuntime(prog, store.NewDatabase(), os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	mode := dbpl.SemiNaive
+	if *naive {
+		mode = dbpl.Naive
+	}
+	db, err := dbpl.Open(dbpl.WithStrict(!*lax), dbpl.WithMode(mode))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := rt.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+	if err := db.ExecToContext(ctx, os.Stdout, string(src)); err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "%s: interrupted\n", flag.Arg(0))
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", flag.Arg(0), *timeout)
+		default:
+			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		}
 		os.Exit(1)
 	}
 }

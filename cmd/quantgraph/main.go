@@ -5,15 +5,22 @@
 //
 //	quantgraph file.dbpl
 //	quantgraph -dot file.dbpl | dot -Tpng > graph.png
+//	quantgraph -exec file.dbpl     # execute first, render the compiled graph
 //
 // With no argument it renders the paper's own Fig 3 example (the ahead
-// constructor of section 3.1).
+// constructor of section 3.1). With -exec the module is run through the
+// session API and the graph of the compiled program is rendered, so the
+// output reflects exactly what the engine evaluated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+
+	dbpl "repro"
 
 	"repro/internal/ast"
 	"repro/internal/compile"
@@ -36,6 +43,7 @@ END fig3.
 
 func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII")
+	exec := flag.Bool("exec", false, "execute the module first and render the compiled program's graph")
 	flag.Parse()
 
 	src := fig3
@@ -46,6 +54,26 @@ func main() {
 			os.Exit(1)
 		}
 		src = string(data)
+	}
+
+	if *exec {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		db, err := dbpl.Open(dbpl.WithStrict(false))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := db.ExecContext(ctx, src); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *dot {
+			fmt.Print(db.QuantGraphDOT())
+		} else {
+			fmt.Print(db.QuantGraphASCII())
+		}
+		return
 	}
 
 	m, err := parser.ParseModule(src)

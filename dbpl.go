@@ -11,10 +11,15 @@
 // set-orientedly (naive or semi-naive) instead of by tuple-at-a-time proof
 // search.
 //
-// # Quick start
+// # Sessions
 //
-//	db := dbpl.New()
-//	out, err := db.Exec(`
+// A DB is opened with functional options and is safe for concurrent use:
+// queries evaluate against a stable snapshot of the relation variables and
+// run in parallel with module execution and assignments.
+//
+//	db, err := dbpl.Open(dbpl.WithMode(dbpl.SemiNaive))
+//	if err != nil { ... }
+//	_, err = db.ExecContext(ctx, `
 //	  MODULE cad;
 //	  TYPE parttype   = STRING;
 //	  TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
@@ -28,27 +33,44 @@
 //	  END ahead;
 //
 //	  Infront := {<"vase","table">, <"table","chair">};
-//	  SHOW Infront{ahead};
 //	  END cad.`)
 //
-// Queries against the accumulated state use Query:
+// # Prepared statements and streaming results
 //
-//	rel, err := db.Query(`Infront{ahead}`)
+// Prepare parses and resolves a query once; the statement can then be
+// executed repeatedly (concurrently, if desired) with scalar parameters
+// bound per call. QueryContext streams the result as a *Rows cursor, so
+// large results need not be materialized into slices by the caller:
+//
+//	stmt, err := db.Prepare(`Infront[hidden_by(Obj)]{ahead}`)
+//	rel, err := stmt.Query(ctx, "table")       // binds Obj := "table"
+//
+//	rows, err := db.QueryContext(ctx, `Infront{ahead}`)
+//	defer rows.Close()
+//	for rows.Next() {
+//		var head, tail string
+//		if err := rows.Scan(&head, &tail); err != nil { ... }
+//	}
+//
+// One-shot Query and QuerySet consult an LRU plan cache keyed by source
+// text, so a repeated query string pays the parse cost once.
+//
+// Contexts are honored end to end: cancellation is checked between fixpoint
+// rounds and inside the evaluator's branch loops, so a runaway recursive
+// constructor can be aborted.
+//
+// The pre-session entry points (New, Exec, Query, QuerySet, Apply) remain
+// as thin wrappers over the context-aware API.
 package dbpl
 
 import (
 	"bytes"
-	"fmt"
+	"context"
 	"io"
 
-	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/eval"
-	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/schema"
-	"repro/internal/store"
-	"repro/internal/typecheck"
 	"repro/internal/value"
 )
 
@@ -101,187 +123,113 @@ const (
 	Naive = core.Naive
 )
 
-// DB is a DBPL database: relation variables plus the accumulated type,
-// selector, and constructor declarations of every executed module.
-type DB struct {
-	Store    *store.Database
-	Checker  *typecheck.Checker
-	Registry *core.Registry
-	Engine   *core.Engine
-	env      *eval.Env
-	// Strict enforces the positivity constraint (section 3.3) on
-	// constructor declarations; it is on by default, as in the paper's
-	// compiler. Changing it affects subsequently executed modules.
-	Strict bool
-	// LastProgram is the most recently compiled program (plans, quant
-	// graph, positivity reports).
-	LastProgram *compile.Program
-}
-
-// New returns an empty database with strict positivity checking.
+// New returns an empty database with strict positivity checking and default
+// options; it is Open with no options.
 func New() *DB {
-	env := eval.NewEnv()
-	reg := core.NewRegistry()
-	chk := typecheck.New()
-	d := &DB{
-		Store:    store.NewDatabase(),
-		Checker:  chk,
-		Registry: reg,
-		env:      env,
-		Strict:   true,
+	d, err := Open()
+	if err != nil {
+		// Open without options cannot fail.
+		panic(err)
 	}
-	d.Engine = core.NewEngine(reg, env)
 	return d
 }
-
-// SetMode selects the fixpoint strategy for constructor evaluation.
-func (d *DB) SetMode(m Mode) { d.Engine.Mode = m }
-
-// LastStats reports the most recent constructor evaluation.
-func (d *DB) LastStats() Stats { return d.Engine.LastStats }
 
 // Exec compiles and runs a DBPL module against the database, accumulating
 // its declarations. It returns the output of SHOW statements.
 func (d *DB) Exec(src string) (string, error) {
+	return d.ExecContext(context.Background(), src)
+}
+
+// ExecTo is Exec with streaming output.
+func (d *DB) ExecTo(out io.Writer, src string) error {
+	return d.ExecToContext(context.Background(), out, src)
+}
+
+// ExecContext is Exec with cancellation: ctx is checked inside fixpoint
+// iterations and evaluator loops.
+func (d *DB) ExecContext(ctx context.Context, src string) (string, error) {
 	var buf bytes.Buffer
-	if err := d.ExecTo(&buf, src); err != nil {
+	if err := d.ExecToContext(ctx, &buf, src); err != nil {
 		return buf.String(), err
 	}
 	return buf.String(), nil
 }
 
-// ExecTo is Exec with streaming output.
-func (d *DB) ExecTo(out io.Writer, src string) error {
-	m, err := parser.ParseModule(src)
-	if err != nil {
-		return err
-	}
-	d.Checker.Strict = d.Strict
-	d.Registry.Strict = d.Strict
-	p, err := compile.CompileModuleInto(m, d.Checker, d.Registry, compile.Options{Strict: d.Strict})
-	if err != nil {
-		return err
-	}
-	d.LastProgram = p
-	rt, err := compile.NewRuntime(p, d.Store, out)
-	if err != nil {
-		return err
-	}
-	// Share the accumulated environment so selectors and variables from
-	// earlier modules stay visible.
-	d.mergeEnv(rt.Env)
-	rt.Env = d.env
-	rt.Engine = d.Engine
-	return rt.Run()
-}
-
-// mergeEnv folds a freshly built runtime environment into the accumulated
-// one.
-func (d *DB) mergeEnv(src *eval.Env) {
-	for k, v := range src.Selectors {
-		d.env.Selectors[k] = v
-	}
-	for k, v := range src.RelTypes {
-		d.env.RelTypes[k] = v
-	}
-}
-
 // Query evaluates a range expression (e.g. `Infront[hidden_by("table")]{ahead}`)
-// against the current state.
+// against a snapshot of the current state. Repeated query strings hit the
+// plan cache.
 func (d *DB) Query(src string) (*Relation, error) {
-	r, err := parser.ParseRange(src)
+	st, err := d.prepareCached(src)
 	if err != nil {
 		return nil, err
 	}
-	d.refreshEnv()
-	return d.env.Range(r)
+	return st.Query(context.Background())
 }
 
 // QuerySet evaluates a full set expression (e.g. `{EACH r IN Infront: TRUE}`).
 func (d *DB) QuerySet(src string) (*Relation, error) {
-	s, err := parser.ParseSetExpr(src)
+	return d.Query(src)
+}
+
+// QueryContext evaluates a query with cancellation and returns a streaming
+// row cursor over the result.
+func (d *DB) QueryContext(ctx context.Context, src string) (*Rows, error) {
+	st, err := d.prepareCached(src)
 	if err != nil {
 		return nil, err
 	}
-	d.refreshEnv()
-	return d.env.SetExpr(s, nil)
+	return st.QueryRows(ctx)
 }
 
-func (d *DB) refreshEnv() {
-	for _, name := range d.Store.Names() {
-		if r, ok := d.Store.Get(name); ok {
-			d.env.Rels[name] = r
-		}
-	}
-	d.env.ResetMemo()
+// QuerySetContext is QueryContext; set expressions and range expressions
+// share one entry point since Prepare accepts both.
+func (d *DB) QuerySetContext(ctx context.Context, src string) (*Rows, error) {
+	return d.QueryContext(ctx, src)
 }
-
-// Declare introduces a relation variable programmatically.
-func (d *DB) Declare(name string, typ RelationType) error {
-	if err := d.Store.Declare(name, typ); err != nil {
-		return err
-	}
-	d.Checker.Vars[name] = typ
-	return nil
-}
-
-// Insert adds tuples to a relation variable under its key constraint.
-func (d *DB) Insert(name string, tuples ...Tuple) error {
-	return d.Store.Insert(name, tuples...)
-}
-
-// Relation returns the current value of a relation variable.
-func (d *DB) Relation(name string) (*Relation, bool) { return d.Store.Get(name) }
-
-// Assign replaces a relation variable's value (key-checked).
-func (d *DB) Assign(name string, rel *Relation) error { return d.Store.Assign(name, rel) }
 
 // Apply evaluates a constructor application on an explicit base relation,
 // with relation- or scalar-valued arguments.
 func (d *DB) Apply(constructor string, base *Relation, args ...any) (*Relation, error) {
-	resolved := make([]eval.Resolved, len(args))
-	for i, a := range args {
-		switch v := a.(type) {
-		case *Relation:
-			resolved[i] = eval.Resolved{Rel: v}
-		case Value:
-			resolved[i] = eval.Resolved{Scalar: v, IsScalar: true}
-		case string:
-			resolved[i] = eval.Resolved{Scalar: Str(v), IsScalar: true}
-		case int:
-			resolved[i] = eval.Resolved{Scalar: Int(int64(v)), IsScalar: true}
-		case int64:
-			resolved[i] = eval.Resolved{Scalar: Int(v), IsScalar: true}
-		default:
-			return nil, fmt.Errorf("dbpl: unsupported argument type %T", a)
-		}
+	return d.ApplyContext(context.Background(), constructor, base, args...)
+}
+
+// Declare introduces a relation variable programmatically.
+func (d *DB) Declare(name string, typ RelationType) error {
+	if err := d.store().Declare(name, typ); err != nil {
+		return err
 	}
-	d.refreshEnv()
-	return d.Engine.Apply(constructor, base, resolved)
+	d.mu.Lock()
+	d.Checker.Vars[name] = typ
+	// Cached plans may have classified the new name as a scalar parameter.
+	d.plans.clear()
+	d.mu.Unlock()
+	return nil
+}
+
+// Insert adds tuples to a relation variable under its key constraint. The
+// published relation is replaced copy-on-write, so batch the tuples into one
+// call where possible: n single-tuple calls copy the relation n times.
+func (d *DB) Insert(name string, tuples ...Tuple) error {
+	return wrapErr(d.store().Insert(name, tuples...))
+}
+
+// Relation returns the current value of a relation variable. The returned
+// relation is the published (immutable) value; callers must not mutate it.
+func (d *DB) Relation(name string) (*Relation, bool) { return d.store().Get(name) }
+
+// Assign replaces a relation variable's value (key-checked).
+func (d *DB) Assign(name string, rel *Relation) error {
+	return wrapErr(d.store().Assign(name, rel))
 }
 
 // Save writes the database's relation variables to w (binary format).
-func (d *DB) Save(w io.Writer) error { return d.Store.Save(w) }
-
-// LoadStore replaces the database's relation variables with those read from
-// r (declarations executed via Exec are kept).
-func (d *DB) LoadStore(r io.Reader) error {
-	db, err := store.Load(r)
-	if err != nil {
-		return err
-	}
-	d.Store = db
-	for _, name := range db.Names() {
-		if t, ok := db.Type(name); ok {
-			d.Checker.Vars[name] = t
-		}
-	}
-	return nil
-}
+func (d *DB) Save(w io.Writer) error { return d.store().Save(w) }
 
 // QuantGraphDOT renders the augmented quant graph of the last executed
 // module in Graphviz syntax (Fig 3 of the paper).
 func (d *DB) QuantGraphDOT() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.LastProgram == nil || d.LastProgram.Graph == nil {
 		return ""
 	}
@@ -290,6 +238,8 @@ func (d *DB) QuantGraphDOT() string {
 
 // QuantGraphASCII renders the augmented quant graph as text.
 func (d *DB) QuantGraphASCII() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.LastProgram == nil || d.LastProgram.Graph == nil {
 		return ""
 	}

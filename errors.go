@@ -1,0 +1,74 @@
+package dbpl
+
+import (
+	"errors"
+
+	"repro/internal/fixpoint"
+	"repro/internal/lexer"
+	"repro/internal/parser"
+	"repro/internal/positivity"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/typecheck"
+)
+
+// ParseError reports a syntax (or lexical) error with its source position.
+// Exec, Query, and Prepare surface every parse failure as a *ParseError, so
+// callers can branch with errors.As without importing internal packages.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+	err       error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying lexer/parser error.
+func (e *ParseError) Unwrap() error { return e.err }
+
+// Error types re-exported from the internal packages; all surface through
+// Exec/Query/Prepare and support errors.As.
+type (
+	// TypeError is a static type error with position.
+	TypeError = typecheck.Error
+	// PositivityError reports a constructor rejected by the positivity
+	// constraint of section 3.3; it carries the full occurrence report.
+	PositivityError = positivity.Error
+	// KeyConflictError reports a violated key constraint: two distinct
+	// tuples sharing a key value.
+	KeyConflictError = relation.KeyConflictError
+	// GuardViolationError reports a tuple rejected by a selector guard on
+	// assignment (the paper's conditional-assignment semantics).
+	GuardViolationError = store.GuardViolationError
+	// OscillationError reports a non-converging non-monotonic fixpoint
+	// iteration (section 3.3's nonsense constructor).
+	OscillationError = fixpoint.OscillationError
+	// NonMonotonicError reports a shrinking state in an iteration that was
+	// declared monotonic.
+	NonMonotonicError = fixpoint.NonMonotonicError
+	// BoundExceededError reports that the fixpoint round bound was hit
+	// before convergence.
+	BoundExceededError = fixpoint.BoundExceededError
+)
+
+// ErrStmtClosed is returned by Stmt methods after Close.
+var ErrStmtClosed = errors.New("dbpl: statement closed")
+
+// wrapErr maps internal error types onto the exported surface. Parse and
+// lexical errors become *ParseError; everything else already is (or wraps)
+// an exported type and passes through.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *parser.Error
+	if errors.As(err, &pe) {
+		return &ParseError{Line: pe.Line, Col: pe.Col, Msg: pe.Msg, err: err}
+	}
+	var le *lexer.Error
+	if errors.As(err, &le) {
+		return &ParseError{Line: le.Line, Col: le.Col, Msg: le.Msg, err: err}
+	}
+	return err
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,8 +49,12 @@ END bom.
 `
 
 func main() {
-	db := dbpl.New()
-	if _, err := db.Exec(module); err != nil {
+	ctx := context.Background()
+	db, err := dbpl.Open()
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	if _, err := db.ExecContext(ctx, module); err != nil {
 		log.Fatalf("exec: %v", err)
 	}
 
@@ -69,8 +74,14 @@ func main() {
 	fmt.Printf("full explosion: %d (assembly, component) pairs in %d rounds (%s)\n",
 		exploded.Len(), stats.Rounds, stats.Mode)
 
-	// Parts explosion for the root only: closure, then selector.
-	rootParts, err := db.Query(`Contains{explode}[of_assembly("` + bom.Root + `")]`)
+	// Parts explosion per assembly: one prepared statement, the root bound
+	// per call instead of spliced into the query text.
+	byAssembly, err := db.Prepare(`Contains{explode}[of_assembly(Root)]`)
+	if err != nil {
+		log.Fatalf("prepare: %v", err)
+	}
+	defer byAssembly.Close()
+	rootParts, err := byAssembly.Query(ctx, bom.Root)
 	if err != nil {
 		log.Fatalf("root explosion: %v", err)
 	}
@@ -85,7 +96,10 @@ func main() {
 	fmt.Printf("where_used has %d pairs; matches explosion: %v\n", used.Len(), symmetric)
 
 	// A small worked example showing the derived facts directly.
-	small := dbpl.New()
+	small, err := dbpl.Open()
+	if err != nil {
+		log.Fatalf("open small: %v", err)
+	}
 	if _, err := small.Exec(module); err != nil {
 		log.Fatalf("exec small: %v", err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,8 +68,12 @@ END cad.
 `
 
 func main() {
-	db := dbpl.New()
-	out, err := db.Exec(module)
+	ctx := context.Background()
+	db, err := dbpl.Open()
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	out, err := db.ExecContext(ctx, module)
 	if err != nil {
 		log.Fatalf("exec: %v", err)
 	}
@@ -95,9 +100,10 @@ END bad.
 `)
 	fmt.Printf("\nassignment with unknown object rejected: %v\n", err != nil)
 
-	// A generated scene at scale, evaluated through the programmatic API.
+	// A generated scene at scale, evaluated through the programmatic API;
+	// the context would let a caller abort the fixpoint mid-flight.
 	scene := workload.NewCADScene(4, 40, 3, 7)
-	closure, err := db.Apply("ahead", scene.Infront, scene.Ontop)
+	closure, err := db.ApplyContext(ctx, "ahead", scene.Infront, scene.Ontop)
 	if err != nil {
 		log.Fatalf("apply: %v", err)
 	}

@@ -1,10 +1,12 @@
 // Quickstart: the paper's running example end to end — declare the CAD
 // types, define the recursive ahead constructor, load Infront facts, and
-// query the constructed relation (transitive closure), both through DBPL
-// source and through the programmatic API.
+// query the constructed relation (transitive closure) through the session
+// API: Open with options, context-aware execution, a prepared statement
+// with a scalar parameter, and a streaming row cursor.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +21,10 @@ TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
 TYPE aheadrel   = RELATION OF RECORD head, tail: parttype END;
 
 VAR Infront: infrontrel;
+
+(* Section 2.3: the predicative sub-relation view used for "behind X". *)
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
 
 (* Section 3.1: all object pairs separated by an arbitrary number of steps. *)
 CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
@@ -36,26 +42,54 @@ END quickstart.
 `
 
 func main() {
-	db := dbpl.New()
+	ctx := context.Background()
 
-	out, err := db.Exec(module)
+	// Open a session; options select the fixpoint strategy, strictness,
+	// and an optional initial store (WithStoreReader).
+	db, err := dbpl.Open(dbpl.WithMode(dbpl.SemiNaive))
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+
+	out, err := db.ExecContext(ctx, module)
 	if err != nil {
 		log.Fatalf("exec: %v", err)
 	}
 	fmt.Print(out)
 
-	// The same query programmatically, with evaluation statistics.
-	closure, err := db.Query(`Infront{ahead}`)
+	// Stream the closure through a row cursor: no whole-relation slice is
+	// materialized on the caller's side.
+	rows, err := db.QueryContext(ctx, `Infront{ahead}`)
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
 	stats := db.LastStats()
 	fmt.Printf("\nInfront{ahead} has %d tuples (mode=%s, rounds=%d, instances=%d)\n",
-		closure.Len(), stats.Mode, stats.Rounds, stats.Instances)
+		rows.Len(), stats.Mode, stats.Rounds, stats.Instances)
+	for rows.Next() {
+		var head, tail string
+		if err := rows.Scan(&head, &tail); err != nil {
+			log.Fatalf("scan: %v", err)
+		}
+		if head == "vase" && tail == "door" {
+			fmt.Println("the vase is ahead of the door")
+		}
+	}
+	rows.Close()
 
-	// Membership test: is the vase (transitively) ahead of the door?
-	if closure.Contains(dbpl.NewTuple(dbpl.Str("vase"), dbpl.Str("door"))) {
-		fmt.Println("the vase is ahead of the door")
+	// A prepared statement: parsed and resolved once, executed repeatedly
+	// with the selector parameter bound per call.
+	stmt, err := db.Prepare(`Infront{ahead}[hidden_by(Obj)]`)
+	if err != nil {
+		log.Fatalf("prepare: %v", err)
+	}
+	defer stmt.Close()
+	for _, obj := range []string{"vase", "table"} {
+		behind, err := stmt.Query(ctx, obj)
+		if err != nil {
+			log.Fatalf("stmt query: %v", err)
+		}
+		fmt.Printf("behind %q: %s\n", obj, behind)
 	}
 
 	// The compiler side: the augmented quant graph of section 4 / Fig 3.

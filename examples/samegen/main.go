@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,8 +40,12 @@ END samegen.
 `
 
 func main() {
-	db := dbpl.New()
-	if _, err := db.Exec(module); err != nil {
+	ctx := context.Background()
+	db, err := dbpl.Open()
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	if _, err := db.ExecContext(ctx, module); err != nil {
 		log.Fatalf("exec: %v", err)
 	}
 
@@ -66,11 +71,15 @@ END data.
 		fmt.Println("derived: alice and frank are of the same generation")
 	}
 
-	// A complete binary ancestry tree at scale.
+	// A complete binary ancestry tree at scale; each depth gets a fresh
+	// session so the per-depth statistics are isolated.
 	for _, depth := range []int{4, 6, 8} {
 		parent := workload.ParentTree(2, depth)
-		db2 := dbpl.New()
-		if _, err := db2.Exec(module); err != nil {
+		db2, err := dbpl.Open()
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		if _, err := db2.ExecContext(ctx, module); err != nil {
 			log.Fatalf("exec: %v", err)
 		}
 		if err := db2.Insert("Parent", parent...); err != nil {

@@ -348,7 +348,16 @@ func (rt *Runtime) runStmt(s ast.Stmt) error {
 			return err
 		}
 		if rt.Out != nil {
-			fmt.Fprintf(rt.Out, "%s = %s\n", t.Expr, rel)
+			// Stream tuple by tuple instead of rendering one big string.
+			if _, err := fmt.Fprintf(rt.Out, "%s = ", t.Expr); err != nil {
+				return err
+			}
+			if _, err := rel.WriteTo(rt.Out); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(rt.Out, "\n"); err != nil {
+				return err
+			}
 		}
 		return nil
 	case *ast.Assign:

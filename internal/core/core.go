@@ -19,8 +19,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -60,13 +62,18 @@ type Constructor struct {
 	Positive bool
 }
 
-// Registry holds constructor definitions.
+// Registry holds constructor definitions. Lookups are safe for concurrent
+// use with registration (queries resolve constructors while modules are
+// being executed).
 type Registry struct {
+	mu           sync.RWMutex
 	constructors map[string]*Constructor
 	// Strict rejects non-positive constructors at registration, matching
 	// the paper's DBPL compiler ("for simplicity, the DBPL compiler accepts
 	// only constructors satisfying the positivity constraint"). Turn it off
-	// to experiment with section 3.3's strange constructor.
+	// to experiment with section 3.3's strange constructor. Unlike the
+	// constructor map it is not lock-guarded: it is only read on the
+	// (serialized) registration path.
 	Strict bool
 }
 
@@ -79,13 +86,15 @@ func NewRegistry() *Registry {
 // positivity check (the "type-checking level" of section 4) and, when the
 // registry is strict, rejects violations.
 func (r *Registry) Register(decl *ast.ConstructorDecl, result schema.RelationType) (*Constructor, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.constructors[decl.Name]; dup {
 		return nil, fmt.Errorf("constructor %q already defined", decl.Name)
 	}
 	rep := positivity.CheckConstructor(decl)
 	c := &Constructor{Decl: decl, Result: result, Report: rep, Positive: rep.Positive()}
 	if r.Strict && !c.Positive {
-		return nil, fmt.Errorf("constructor %q: %v", decl.Name, rep.Error())
+		return nil, fmt.Errorf("constructor %q: %w", decl.Name, rep.Err(decl.Name))
 	}
 	r.constructors[decl.Name] = c
 	return c, nil
@@ -93,12 +102,16 @@ func (r *Registry) Register(decl *ast.ConstructorDecl, result schema.RelationTyp
 
 // Lookup returns a registered constructor.
 func (r *Registry) Lookup(name string) (*Constructor, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c, ok := r.constructors[name]
 	return c, ok
 }
 
 // Names returns the registered constructor names (unordered).
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.constructors))
 	for n := range r.constructors {
 		out = append(out, n)
@@ -141,14 +154,21 @@ func NewEngine(reg *Registry, global *eval.Env) *Engine {
 }
 
 // ApplyConstructor implements eval.ConstructorResolver.
-func (en *Engine) ApplyConstructor(name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
-	return en.Apply(name, base, args)
+func (en *Engine) ApplyConstructor(ctx context.Context, name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
+	return en.ApplyContext(ctx, name, base, args)
 }
 
 // Apply evaluates Actrel{c(args)}: grounds the reachable application system
 // and computes its least fixpoint, returning the root application's value.
 func (en *Engine) Apply(name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
-	sys := &system{engine: en, byKey: make(map[string]*instance), fps: make(map[*relation.Relation]string)}
+	return en.ApplyContext(context.Background(), name, base, args)
+}
+
+// ApplyContext is Apply with cancellation: ctx is checked between fixpoint
+// rounds and inside the branch loops of every equation evaluation, so a
+// runaway recursive constructor can be aborted.
+func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
+	sys := &system{engine: en, ctx: ctx, byKey: make(map[string]*instance), fps: make(map[*relation.Relation]string)}
 	rootKey, err := sys.ground(name, base, args)
 	if err != nil {
 		return nil, err
@@ -166,7 +186,7 @@ func (en *Engine) Apply(name string, base *relation.Relation, args []eval.Resolv
 	if maxRounds == 0 {
 		maxRounds = 1 << 20
 	}
-	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono}
+	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono, Ctx: ctx}
 
 	var state []*relation.Relation
 	var fstats fixpoint.Stats
@@ -229,6 +249,7 @@ type branchInfo struct {
 
 type system struct {
 	engine    *Engine
+	ctx       context.Context
 	instances []*instance
 	byKey     map[string]*instance
 	fps       map[*relation.Relation]string // fingerprint cache
@@ -285,6 +306,7 @@ func (s *system) ground(name string, base *relation.Relation, args []eval.Resolv
 		env:     s.engine.GlobalEnv.Clone(),
 		occKeys: make(map[string]string),
 	}
+	inst.env.Ctx = s.ctx
 	// Bind formals: the base-relation variable and the parameters. The
 	// bindings shadow any same-named globals, which is exactly the paper's
 	// static scoping of constructor definitions.

@@ -14,6 +14,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ast"
@@ -31,9 +32,10 @@ type Resolved struct {
 
 // ConstructorResolver resolves a constructor application Rel{c(args)} to its
 // constructed value. Package core supplies the least-fixpoint implementation;
-// the indirection keeps eval free of a dependency cycle.
+// the indirection keeps eval free of a dependency cycle. The context carries
+// cancellation into the fixpoint iteration.
 type ConstructorResolver interface {
-	ApplyConstructor(name string, base *relation.Relation, args []Resolved) (*relation.Relation, error)
+	ApplyConstructor(ctx context.Context, name string, base *relation.Relation, args []Resolved) (*relation.Relation, error)
 }
 
 // Env is the evaluation environment: relation variables (including formal
@@ -47,9 +49,17 @@ type Env struct {
 	Selectors    map[string]*ast.SelectorDecl
 	Constructors ConstructorResolver
 
+	// Ctx, when non-nil, cancels long evaluations: the branch loops check it
+	// periodically and constructor applications thread it into the fixpoint
+	// iteration. A nil Ctx means "never cancelled".
+	Ctx context.Context
+
 	// rangeMemo caches materialized ranges within one evaluation so that
 	// quantifier ranges inside loops are not re-materialized per tuple.
 	rangeMemo map[*ast.Range]*relation.Relation
+	// steps counts tuple visits, so cancellation is polled only every few
+	// hundred tuples instead of per tuple.
+	steps uint
 }
 
 // NewEnv returns an empty environment.
@@ -71,6 +81,7 @@ func (e *Env) Clone() *Env {
 		RelTypes:     e.RelTypes,
 		Selectors:    e.Selectors,
 		Constructors: e.Constructors,
+		Ctx:          e.Ctx,
 	}
 	for k, v := range e.Rels {
 		c.Rels[k] = v
@@ -159,8 +170,29 @@ func (e *Env) applySuffix(base *relation.Relation, s *ast.Suffix) (*relation.Rel
 		if err != nil {
 			return nil, err
 		}
-		return e.Constructors.ApplyConstructor(s.Name, base, args)
+		return e.Constructors.ApplyConstructor(e.Context(), s.Name, base, args)
 	}
+}
+
+// Context returns the environment's cancellation context, never nil.
+func (e *Env) Context() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
+}
+
+// cancelled polls Ctx every 256 tuple visits; the coarse stride keeps the
+// check off the hot path.
+func (e *Env) cancelled() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	e.steps++
+	if e.steps&255 != 0 {
+		return nil
+	}
+	return e.Ctx.Err()
 }
 
 // ResetMemo clears the materialized-range cache. Callers that re-bind
@@ -240,6 +272,10 @@ func (e *Env) applySelector(base *relation.Relation, s *ast.Suffix) (*relation.R
 	var b bindings
 	var iterErr error
 	base.Each(func(t value.Tuple) bool {
+		if err := scoped.cancelled(); err != nil {
+			iterErr = err
+			return false
+		}
 		b.push(decl.BodyVar, t, elem)
 		keep, err := scoped.Pred(decl.Where, &b)
 		b.pop()
@@ -517,6 +553,9 @@ func (e *Env) runPlan(br *ast.Branch, plan *branchPlan, rels []*relation.Relatio
 	elem := rels[i].Type().Element
 
 	iter := func(t value.Tuple) error {
+		if err := e.cancelled(); err != nil {
+			return err
+		}
 		b.push(br.Binds[i].Var, t, elem)
 		defer b.pop()
 		for _, res := range plan.residuals[i] {
@@ -661,6 +700,10 @@ func (e *Env) Pred(p ast.Pred, b *bindings) (bool, error) {
 		result := q.All // ALL over empty range is true; SOME is false
 		var iterErr error
 		rel.Each(func(t value.Tuple) bool {
+			if err := e.cancelled(); err != nil {
+				iterErr = err
+				return false
+			}
 			b.push(q.Var, t, elem)
 			ok, err := e.Pred(q.Body, b)
 			b.pop()

@@ -20,6 +20,7 @@
 package fixpoint
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sort"
@@ -53,6 +54,17 @@ type Options struct {
 	// shrink between rounds (section 3.3's strange constructor). When
 	// false, a shrinking state is reported as an error.
 	AllowNonMonotonic bool
+	// Ctx, when non-nil, is checked between rounds so that runaway
+	// iterations can be cancelled; the iteration returns ctx.Err().
+	Ctx context.Context
+}
+
+// cancelled returns the context error, if any, at a round boundary.
+func (o Options) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 // Stats reports the work done by an iteration.
@@ -112,6 +124,9 @@ func Naive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) {
 	seen := map[string]int{fingerprintState(cur): 0}
 
 	for {
+		if err := opts.cancelled(); err != nil {
+			return cur, stats, err
+		}
 		if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
 			return cur, stats, &BoundExceededError{MaxRounds: opts.MaxRounds}
 		}
@@ -160,6 +175,9 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 		empty[i] = ev.NewRelation(i)
 	}
 	// Round 0: g_i over the empty state.
+	if err := opts.cancelled(); err != nil {
+		return nil, stats, err
+	}
 	stats.Rounds++
 	for i := 0; i < n; i++ {
 		out, err := ev.EvalFull(i, empty)
@@ -185,6 +203,9 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 		if quiet {
 			stats.TuplesFinal = totalLen(cur)
 			return cur, stats, nil
+		}
+		if err := opts.cancelled(); err != nil {
+			return cur, stats, err
 		}
 		if opts.MaxRounds > 0 && stats.Rounds >= opts.MaxRounds {
 			return cur, stats, &BoundExceededError{MaxRounds: opts.MaxRounds}

@@ -47,18 +47,38 @@ type Report struct {
 // Positive reports whether every occurrence appears at even depth.
 func (r Report) Positive() bool { return len(r.Violations) == 0 }
 
-// Error returns nil for positive reports, or a descriptive error listing the
-// violating occurrences.
-func (r Report) Error() error {
-	if r.Positive() {
-		return nil
-	}
-	parts := make([]string, len(r.Violations))
-	for i, v := range r.Violations {
+// Error is a positivity-constraint violation: the section 3.3 criterion the
+// DBPL compiler enforces on constructor declarations. It carries the full
+// Report so callers can inspect the violating occurrences via errors.As.
+type Error struct {
+	// Constructor names the rejected constructor; empty when the analysis
+	// ran over a bare set expression.
+	Constructor string
+	Report      Report
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Report.Violations))
+	for i, v := range e.Report.Violations {
 		parts[i] = fmt.Sprintf("%s at %s (depth %d)", v.Name, v.Pos, v.Depth)
 	}
 	sort.Strings(parts)
-	return fmt.Errorf("positivity constraint violated: %s", strings.Join(parts, "; "))
+	return "positivity constraint violated: " + strings.Join(parts, "; ")
+}
+
+// Error returns nil for positive reports, or a *Error listing the violating
+// occurrences.
+func (r Report) Error() error {
+	return r.Err("")
+}
+
+// Err is Error with the rejected constructor's name attached.
+func (r Report) Err(constructor string) error {
+	if r.Positive() {
+		return nil
+	}
+	return &Error{Constructor: constructor, Report: r}
 }
 
 // CheckSetExpr analyses a set expression, tracking occurrences of the given

@@ -12,6 +12,8 @@ package relation
 
 import (
 	"fmt"
+	"io"
+	"iter"
 	"sort"
 	"strings"
 
@@ -177,6 +179,19 @@ func (r *Relation) Each(fn func(value.Tuple) bool) {
 	}
 }
 
+// All returns a single-use iterator over the tuples in unspecified order.
+// It is the pull-based counterpart of Each, used by the streaming row cursor
+// of the public API so results need not be materialized into a slice.
+func (r *Relation) All() iter.Seq[value.Tuple] {
+	return func(yield func(value.Tuple) bool) {
+		for _, t := range r.tuples {
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
 // Tuples returns all tuples in deterministic (lexicographic) order.
 func (r *Relation) Tuples() []value.Tuple {
 	out := make([]value.Tuple, 0, len(r.tuples))
@@ -299,15 +314,35 @@ func (r *Relation) Project(resultType schema.RelationType, positions []int) *Rel
 // deterministic order, e.g. {<"a","b">, <"b","c">}.
 func (r *Relation) String() string {
 	var b strings.Builder
-	b.WriteByte('{')
+	r.WriteTo(&b) //nolint:errcheck // strings.Builder never errors
+	return b.String()
+}
+
+// WriteTo streams the literal rendering of String to w tuple by tuple,
+// avoiding one monolithic string for large relations (SHOW output path). It
+// implements io.WriterTo.
+func (r *Relation) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(s string) error {
+		m, err := io.WriteString(w, s)
+		n += int64(m)
+		return err
+	}
+	if err := write("{"); err != nil {
+		return n, err
+	}
 	for i, t := range r.Tuples() {
 		if i > 0 {
-			b.WriteString(", ")
+			if err := write(", "); err != nil {
+				return n, err
+			}
 		}
-		b.WriteString(t.String())
+		if err := write(t.String()); err != nil {
+			return n, err
+		}
 	}
-	b.WriteByte('}')
-	return b.String()
+	err := write("}")
+	return n, err
 }
 
 // Index is a hash index over a projection of a relation's attributes, used by

@@ -154,7 +154,13 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 	return nil
 }
 
-// Insert adds tuples to a variable in place, under the key constraint.
+// Insert adds tuples to a variable, under the key constraint. The variable's
+// published relation is never mutated in place: the new value is built on a
+// copy and swapped in atomically, so snapshot readers keep iterating a
+// consistent state. On any violation the variable keeps its previous value.
+//
+// The copy is per call, not per tuple — batch tuples into one Insert where
+// possible; n single-tuple calls clone the relation n times.
 func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -162,12 +168,28 @@ func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 	if !ok {
 		return fmt.Errorf("store: insert into undeclared variable %q", name)
 	}
+	next := r.Clone()
 	for _, t := range tuples {
-		if err := r.Insert(t); err != nil {
+		if err := next.Insert(t); err != nil {
 			return err
 		}
 	}
+	db.vars[name] = next
 	return nil
+}
+
+// Snapshot returns the current binding of every variable. The map is a
+// private copy; the relations are the published values, which are immutable
+// once published (writers replace, never mutate), so the snapshot can be read
+// without further locking while writers proceed.
+func (db *Database) Snapshot() map[string]*relation.Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]*relation.Relation, len(db.vars))
+	for n, r := range db.vars {
+		out[n] = r
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -393,7 +393,7 @@ func (c *Checker) CheckConstructorDecl(d *ast.ConstructorDecl) (*ConstructorSig,
 	if c.Strict {
 		if rep := positivity.CheckConstructor(d); !rep.Positive() {
 			delete(c.Constructors, d.Name)
-			return nil, fmt.Errorf("constructor %q: %v", d.Name, rep.Error())
+			return nil, fmt.Errorf("constructor %q: %w", d.Name, rep.Err(d.Name))
 		}
 	}
 	return sig, nil

@@ -1,0 +1,59 @@
+package dbpl
+
+import "io"
+
+// config collects the Open-time settings.
+type config struct {
+	mode          Mode
+	strict        bool
+	maxRounds     int
+	planCacheSize int
+	storeReader   io.Reader
+}
+
+// DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
+// given WithPlanCacheSize.
+const DefaultPlanCacheSize = 128
+
+func defaultConfig() config {
+	return config{
+		mode:          SemiNaive,
+		strict:        true,
+		planCacheSize: DefaultPlanCacheSize,
+	}
+}
+
+// Option configures a DB at Open time.
+type Option func(*config)
+
+// WithMode selects the fixpoint strategy for constructor evaluation
+// (SemiNaive by default).
+func WithMode(m Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithStrict toggles the positivity constraint (section 3.3) on constructor
+// declarations. It is on by default, as in the paper's compiler; turning it
+// off admits non-monotonic constructors, evaluated naively with oscillation
+// detection.
+func WithStrict(strict bool) Option {
+	return func(c *config) { c.strict = strict }
+}
+
+// WithMaxRounds bounds fixpoint iterations; 0 (the default) means a large
+// internal default. Mostly useful together with WithStrict(false).
+func WithMaxRounds(n int) Option {
+	return func(c *config) { c.maxRounds = n }
+}
+
+// WithPlanCacheSize sets the capacity of the LRU cache of prepared query
+// plans consulted by Query/QueryContext; 0 disables caching.
+func WithPlanCacheSize(n int) Option {
+	return func(c *config) { c.planCacheSize = n }
+}
+
+// WithStoreReader loads the initial relation variables from a Save-format
+// reader, as if LoadStore were called right after Open.
+func WithStoreReader(r io.Reader) Option {
+	return func(c *config) { c.storeReader = r }
+}

@@ -1,0 +1,131 @@
+package dbpl
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Rows is a cursor over a query result, modeled on database/sql: call Next
+// until it returns false, Scan inside the loop, and Close when done (Close
+// is idempotent and implied by exhausting the cursor). Tuples are yielded in
+// unspecified order; use Relation().Tuples() when deterministic order is
+// needed.
+//
+// A Rows is bound to the snapshot its query evaluated against; later writes
+// to the database do not affect it. It is not safe for concurrent use by
+// multiple goroutines.
+type Rows struct {
+	rel    *relation.Relation
+	cols   []string
+	next   func() (value.Tuple, bool)
+	stop   func()
+	cur    value.Tuple
+	closed bool
+}
+
+func newRows(rel *relation.Relation) *Rows {
+	next, stop := iter.Pull(rel.All())
+	elem := rel.Type().Element
+	cols := make([]string, len(elem.Attrs))
+	for i, a := range elem.Attrs {
+		cols[i] = a.Name
+	}
+	return &Rows{rel: rel, cols: cols, next: next, stop: stop}
+}
+
+// Columns returns the attribute names of the result relation.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Len returns the total number of result tuples (known up front: DBPL
+// queries produce sets).
+func (r *Rows) Len() int { return r.rel.Len() }
+
+// Relation returns the underlying result relation.
+func (r *Rows) Relation() *Relation { return r.rel }
+
+// Next advances to the next tuple, reporting whether one is available.
+func (r *Rows) Next() bool {
+	if r.closed {
+		return false
+	}
+	t, ok := r.next()
+	if !ok {
+		r.Close()
+		return false
+	}
+	r.cur = t
+	return true
+}
+
+// Tuple returns the current tuple (valid after a true Next).
+func (r *Rows) Tuple() Tuple { return r.cur }
+
+// Scan copies the current tuple's values into dest, which must hold one
+// pointer per attribute: *string, *int, *int64, *bool, *Value, or *any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("dbpl: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("dbpl: Scan expected %d destination(s), got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		v := r.cur[i]
+		switch p := d.(type) {
+		case *Value:
+			*p = v
+		case *any:
+			switch v.Kind() {
+			case value.KindString:
+				*p = v.AsString()
+			case value.KindInt:
+				*p = v.AsInt()
+			case value.KindBool:
+				*p = v.AsBool()
+			default:
+				*p = v
+			}
+		case *string:
+			if v.Kind() != value.KindString {
+				return fmt.Errorf("dbpl: Scan column %q: cannot scan %s into *string", r.cols[i], v.Kind())
+			}
+			*p = v.AsString()
+		case *int64:
+			if v.Kind() != value.KindInt {
+				return fmt.Errorf("dbpl: Scan column %q: cannot scan %s into *int64", r.cols[i], v.Kind())
+			}
+			*p = v.AsInt()
+		case *int:
+			if v.Kind() != value.KindInt {
+				return fmt.Errorf("dbpl: Scan column %q: cannot scan %s into *int", r.cols[i], v.Kind())
+			}
+			*p = int(v.AsInt())
+		case *bool:
+			if v.Kind() != value.KindBool {
+				return fmt.Errorf("dbpl: Scan column %q: cannot scan %s into *bool", r.cols[i], v.Kind())
+			}
+			*p = v.AsBool()
+		default:
+			return fmt.Errorf("dbpl: Scan column %q: unsupported destination type %T", r.cols[i], d)
+		}
+	}
+	return nil
+}
+
+// Err returns the error, if any, encountered during iteration. It exists
+// for database/sql-style loops; the current implementation evaluates the
+// query before the first Next, so Err is always nil.
+func (r *Rows) Err() error { return nil }
+
+// Close releases the cursor. It is idempotent and safe after exhaustion.
+func (r *Rows) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.cur = nil
+		r.stop()
+	}
+	return nil
+}

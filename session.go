@@ -1,0 +1,322 @@
+package dbpl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/typecheck"
+	"repro/internal/value"
+)
+
+// DB is a DBPL database: relation variables plus the accumulated type,
+// selector, and constructor declarations of every executed module.
+//
+// A DB is safe for concurrent use. Module execution (Exec*) and programmatic
+// writes serialize on an internal lock; queries (Query*, Stmt.Query, Apply)
+// evaluate against a snapshot of the relation variables in a private
+// environment and therefore run in parallel with each other and with
+// writers.
+type DB struct {
+	Store    *store.Database
+	Checker  *typecheck.Checker
+	Registry *core.Registry
+	// Engine is the module-execution engine over the accumulated
+	// environment; queries use private per-call engines.
+	Engine *core.Engine
+	// Strict enforces the positivity constraint (section 3.3) on
+	// constructor declarations; it is on by default, as in the paper's
+	// compiler. Changing it affects subsequently executed modules; set it
+	// before sharing the DB across goroutines (or use WithStrict).
+	Strict bool
+	// LastProgram is the most recently compiled program (plans, quant
+	// graph, positivity reports).
+	LastProgram *compile.Program
+
+	// execMu serializes module execution (and other users of the shared
+	// exec-path environment and engine) without blocking queries, which
+	// never take it.
+	execMu sync.Mutex
+	// mu guards the accumulated declaration state (env, Checker, Registry
+	// registration, LastProgram, Engine configuration) between module
+	// execution and the query-side snapshot of that state.
+	mu sync.RWMutex
+	// env is the accumulated module-execution environment: selector and
+	// type declarations from every executed module plus the exec-path
+	// relation bindings.
+	env *eval.Env
+	// decls is the published declaration snapshot queries share: fresh maps
+	// rebuilt whenever the accumulated declarations change and never
+	// mutated afterwards, so callEnv hands them out without copying.
+	decls *declSnapshot
+
+	statsMu   sync.Mutex
+	lastStats Stats
+
+	plans *planCache
+}
+
+// Open returns an empty database configured by the given options; with no
+// options it matches New: strict positivity checking, semi-naive fixpoints,
+// and a 128-entry plan cache.
+func Open(opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	env := eval.NewEnv()
+	reg := core.NewRegistry()
+	d := &DB{
+		Store:    store.NewDatabase(),
+		Checker:  typecheck.New(),
+		Registry: reg,
+		env:      env,
+		Strict:   cfg.strict,
+		plans:    newPlanCache(cfg.planCacheSize),
+	}
+	d.Engine = core.NewEngine(reg, env)
+	d.Engine.Mode = cfg.mode
+	d.Engine.MaxRounds = cfg.maxRounds
+	d.rebuildDecls()
+	if cfg.storeReader != nil {
+		if err := d.LoadStore(cfg.storeReader); err != nil {
+			return nil, fmt.Errorf("dbpl: loading initial store: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// store returns the current store pointer under the lock: LoadStore swaps
+// it, so unsynchronized reads race.
+func (d *DB) store() *store.Database {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.Store
+}
+
+// SetMode selects the fixpoint strategy for constructor evaluation.
+func (d *DB) SetMode(m Mode) {
+	d.execMu.Lock()
+	d.mu.Lock()
+	d.Engine.Mode = m
+	d.mu.Unlock()
+	d.execMu.Unlock()
+}
+
+// LastStats reports the most recent constructor evaluation (by any Exec,
+// Query, or Apply on this DB).
+func (d *DB) LastStats() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.lastStats
+}
+
+func (d *DB) recordStats(en *core.Engine) {
+	if en.LastStats == (Stats{}) {
+		return
+	}
+	d.statsMu.Lock()
+	d.lastStats = en.LastStats
+	d.statsMu.Unlock()
+}
+
+// ExecToContext compiles and runs a DBPL module with streaming SHOW output
+// and cancellation. Module execution is serialized against other Exec calls;
+// concurrent queries keep running against their snapshots while the module's
+// statements execute, picking up each assignment as it is published.
+func (d *DB) ExecToContext(ctx context.Context, out io.Writer, src string) error {
+	m, err := parser.ParseModule(src)
+	if err != nil {
+		return wrapErr(err)
+	}
+	d.execMu.Lock()
+	defer d.execMu.Unlock()
+
+	// Declaration state mutates under the write lock so query snapshots
+	// never observe a half-compiled module.
+	d.mu.Lock()
+	d.Checker.Strict = d.Strict
+	d.Registry.Strict = d.Strict
+	p, err := compile.CompileModuleInto(m, d.Checker, d.Registry, compile.Options{Strict: d.Strict})
+	if err != nil {
+		d.mu.Unlock()
+		return wrapErr(err)
+	}
+	d.LastProgram = p
+	rt, err := compile.NewRuntime(p, d.Store, out)
+	if err != nil {
+		d.mu.Unlock()
+		return wrapErr(err)
+	}
+	// Share the accumulated environment so selectors and variables from
+	// earlier modules stay visible.
+	d.mergeEnv(rt.Env)
+	rt.Env = d.env
+	rt.Engine = d.Engine
+	d.env.Ctx = ctx
+	// The module may have declared new relations, selectors, or
+	// constructors: cached plans resolved against the old declarations.
+	// Cleared before the unlock so no query sees the new declarations but
+	// a stale plan.
+	d.plans.clear()
+	d.mu.Unlock()
+
+	// Statements run outside the declaration lock: writes go through the
+	// store's own synchronization, so queries proceed in parallel.
+	defer func() {
+		d.env.Ctx = nil
+		d.recordStats(d.Engine)
+	}()
+	return wrapErr(rt.Run())
+}
+
+// mergeEnv folds a freshly built runtime environment into the accumulated
+// one and republishes the declaration snapshot.
+func (d *DB) mergeEnv(src *eval.Env) {
+	for k, v := range src.Selectors {
+		d.env.Selectors[k] = v
+	}
+	for k, v := range src.RelTypes {
+		d.env.RelTypes[k] = v
+	}
+	d.rebuildDecls()
+}
+
+// declSnapshot is an immutable copy of the accumulated declarations, shared
+// by reference into every per-call query environment. The maps are never
+// mutated after publication.
+type declSnapshot struct {
+	selectors map[string]*ast.SelectorDecl
+	relTypes  map[string]schema.RelationType
+	scalars   map[string]value.Value
+}
+
+// rebuildDecls republishes the declaration snapshot from d.env. Caller holds
+// d.mu (or is still single-threaded in Open).
+func (d *DB) rebuildDecls() {
+	snap := &declSnapshot{
+		selectors: make(map[string]*ast.SelectorDecl, len(d.env.Selectors)),
+		relTypes:  make(map[string]schema.RelationType, len(d.env.RelTypes)),
+		scalars:   make(map[string]value.Value, len(d.env.Scalars)),
+	}
+	for k, v := range d.env.Selectors {
+		snap.selectors[k] = v
+	}
+	for k, v := range d.env.RelTypes {
+		snap.relTypes[k] = v
+	}
+	for k, v := range d.env.Scalars {
+		snap.scalars[k] = v
+	}
+	d.decls = snap
+}
+
+// callEnv builds a private evaluation environment for one query: the
+// published declaration snapshot (shared by reference — it is immutable)
+// plus a snapshot of the relation variables, wired to a private engine. The
+// environment is independent of the DB after this returns, so evaluation
+// proceeds without holding any DB lock and writers cannot disturb it.
+func (d *DB) callEnv(ctx context.Context) (*eval.Env, *core.Engine) {
+	d.mu.RLock()
+	decls := d.decls
+	st := d.Store
+	mode := d.Engine.Mode
+	maxRounds := d.Engine.MaxRounds
+	reg := d.Registry
+	d.mu.RUnlock()
+
+	env := eval.NewEnv()
+	env.Selectors = decls.selectors
+	env.RelTypes = decls.relTypes
+	// Scalars get per-call parameter bindings, so this map must be private.
+	for k, v := range decls.scalars {
+		env.Scalars[k] = v
+	}
+	for name, rel := range st.Snapshot() {
+		env.Rels[name] = rel
+	}
+	env.Ctx = ctx
+	en := core.NewEngine(reg, env)
+	en.Mode = mode
+	en.MaxRounds = maxRounds
+	return env, en
+}
+
+// ApplyContext evaluates a constructor application on an explicit base
+// relation with cancellation. Arguments may be *Relation, Value, string,
+// int, or int64.
+func (d *DB) ApplyContext(ctx context.Context, constructor string, base *Relation, args ...any) (*Relation, error) {
+	resolved := make([]eval.Resolved, len(args))
+	for i, a := range args {
+		if rel, ok := a.(*Relation); ok {
+			resolved[i] = eval.Resolved{Rel: rel}
+			continue
+		}
+		v, err := toValue(a)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = eval.Resolved{Scalar: v, IsScalar: true}
+	}
+	_, en := d.callEnv(ctx)
+	out, err := en.ApplyContext(ctx, constructor, base, resolved)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	d.recordStats(en)
+	return out, nil
+}
+
+// toValue converts a Go scalar to a DBPL value.
+func toValue(a any) (Value, error) {
+	switch v := a.(type) {
+	case Value:
+		return v, nil
+	case string:
+		return Str(v), nil
+	case int:
+		return Int(int64(v)), nil
+	case int64:
+		return Int(v), nil
+	case bool:
+		return Bool(v), nil
+	default:
+		return Value{}, fmt.Errorf("dbpl: unsupported argument type %T", a)
+	}
+}
+
+// LoadStore replaces the database's relation variables with those read from
+// r (declarations executed via Exec are kept). Relations that existed only
+// in the replaced store stop resolving in queries.
+func (d *DB) LoadStore(r io.Reader) error {
+	db, err := store.Load(r)
+	if err != nil {
+		return err
+	}
+	d.execMu.Lock()
+	defer d.execMu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.Store = db
+	// Drop the exec-path relation bindings of the previous store so stale
+	// relations do not keep resolving after the swap; the next statement
+	// re-binds from the new store.
+	d.env.Rels = make(map[string]*relation.Relation)
+	for _, name := range db.Names() {
+		if t, ok := db.Type(name); ok {
+			d.Checker.Vars[name] = t
+		}
+	}
+	// Cached plans resolved names against the replaced store.
+	d.plans.clear()
+	return nil
+}

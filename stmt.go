@@ -1,0 +1,400 @@
+package dbpl
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// Stmt is a prepared query: the source is parsed and its relation, selector,
+// and constructor references resolved once, then the statement can be
+// executed any number of times — concurrently, if desired — against the
+// database's current state. Scalar parameters (bare identifiers that do not
+// name a relation variable) are bound positionally on each Query call, in
+// order of first appearance in the source.
+//
+// Physical planning (join index selection) happens per execution, because
+// indexes are built against the relation values of the execution's snapshot.
+type Stmt struct {
+	db     *DB
+	src    string
+	rng    *ast.Range   // exactly one of rng/set is non-nil
+	set    *ast.SetExpr //
+	params []string     // scalar parameter names, first-appearance order
+	closed atomic.Bool
+}
+
+// Prepare parses and resolves a query — a range expression such as
+// `Infront[hidden_by(Obj)]{ahead}` or a set expression such as
+// `{EACH r IN Infront: TRUE}` — for repeated execution.
+func (d *DB) Prepare(src string) (*Stmt, error) {
+	st := &Stmt{db: d, src: src}
+	r, rerr := parser.ParseRange(src)
+	if rerr == nil {
+		st.rng = r
+	} else {
+		s, serr := parser.ParseSetExpr(src)
+		if serr != nil {
+			// Report the range parse's error: it is the more general form.
+			return nil, wrapErr(rerr)
+		}
+		st.set = s
+	}
+	if err := st.resolve(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// prepareCached returns the plan-cached statement for src, preparing and
+// caching it on a miss. Used by the one-shot Query entry points. The
+// generation check keeps a statement resolved against pre-invalidation
+// declarations from being cached after a concurrent clear.
+func (d *DB) prepareCached(src string) (*Stmt, error) {
+	if st, ok := d.plans.get(src); ok {
+		return st, nil
+	}
+	gen := d.plans.generation()
+	st, err := d.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	d.plans.putAt(gen, src, st)
+	return st, nil
+}
+
+// Source returns the statement's source text.
+func (s *Stmt) Source() string { return s.src }
+
+// Params returns the scalar parameter names in binding order.
+func (s *Stmt) Params() []string {
+	out := make([]string, len(s.params))
+	copy(out, s.params)
+	return out
+}
+
+// Close invalidates the statement. Executions in flight are unaffected.
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// Query executes the statement against a snapshot of the current state,
+// binding args positionally to the statement's scalar parameters (Value,
+// string, int, int64, or bool).
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Relation, error) {
+	rel, err := s.exec(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// QueryRows is Query with a streaming row cursor over the result.
+func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
+	rel, err := s.exec(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(rel), nil
+}
+
+func (s *Stmt) exec(ctx context.Context, args []any) (*relation.Relation, error) {
+	if s.closed.Load() {
+		return nil, ErrStmtClosed
+	}
+	if len(args) != len(s.params) {
+		return nil, fmt.Errorf("dbpl: statement %q expects %d argument(s) %v, got %d",
+			s.src, len(s.params), s.params, len(args))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	env, en := s.db.callEnv(ctx)
+	for i, name := range s.params {
+		v, err := toValue(args[i])
+		if err != nil {
+			return nil, fmt.Errorf("dbpl: binding parameter %q: %w", name, err)
+		}
+		env.Scalars[name] = v
+	}
+	var rel *relation.Relation
+	var err error
+	if s.rng != nil {
+		rel, err = env.Range(s.rng)
+	} else {
+		rel, err = env.SetExpr(s.set, nil)
+	}
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	s.db.recordStats(en)
+	return rel, nil
+}
+
+// ---------------------------------------------------------------------------
+// Name resolution (the prepare-time "typecheck" of the query surface)
+// ---------------------------------------------------------------------------
+
+// ref is a positioned name reference collected from the query AST.
+type ref struct {
+	name string
+	pos  ast.Pos
+}
+
+// sufRef is a selector/constructor application reference.
+type sufRef struct {
+	kind ast.SuffixKind
+	name string
+	argc int
+	pos  ast.Pos
+}
+
+// queryRefs accumulates the references of one query in syntactic order.
+type queryRefs struct {
+	rels    []ref    // ranges that must name relation variables
+	sufs    []sufRef // selector/constructor applications
+	scalars []ref    // names that can only be scalar parameters (term position)
+	flex    []ref    // bare-identifier arguments: relation or scalar parameter
+}
+
+func (q *queryRefs) walkRange(r *ast.Range) {
+	if r.Sub != nil {
+		q.walkSet(r.Sub)
+	} else if r.Var != "" {
+		q.rels = append(q.rels, ref{r.Var, r.Pos})
+	}
+	for i := range r.Suffixes {
+		s := &r.Suffixes[i]
+		q.sufs = append(q.sufs, sufRef{s.Kind, s.Name, len(s.Args), s.Pos})
+		for _, a := range s.Args {
+			switch {
+			case a.Scalar != nil:
+				q.walkTerm(a.Scalar)
+			case a.Rel != nil:
+				if a.Rel.Sub == nil && len(a.Rel.Suffixes) == 0 {
+					// A bare identifier: relation variable or scalar
+					// parameter — decided at resolution.
+					q.flex = append(q.flex, ref{a.Rel.Var, a.Rel.Pos})
+				} else {
+					q.walkRange(a.Rel)
+				}
+			}
+		}
+	}
+}
+
+func (q *queryRefs) walkSet(s *ast.SetExpr) {
+	for i := range s.Branches {
+		br := &s.Branches[i]
+		for _, t := range br.Literal {
+			q.walkTerm(t)
+		}
+		for _, t := range br.Target {
+			q.walkTerm(t)
+		}
+		for _, bd := range br.Binds {
+			q.walkRange(bd.Range)
+		}
+		if br.Where != nil {
+			q.walkPred(br.Where)
+		}
+	}
+}
+
+func (q *queryRefs) walkPred(p ast.Pred) {
+	switch t := p.(type) {
+	case ast.Cmp:
+		q.walkTerm(t.L)
+		q.walkTerm(t.R)
+	case ast.And:
+		q.walkPred(t.L)
+		q.walkPred(t.R)
+	case ast.Or:
+		q.walkPred(t.L)
+		q.walkPred(t.R)
+	case ast.Not:
+		q.walkPred(t.P)
+	case ast.Quant:
+		q.walkRange(t.Range)
+		q.walkPred(t.Body)
+	case ast.Member:
+		for _, tm := range t.Terms {
+			q.walkTerm(tm)
+		}
+		q.walkRange(t.Range)
+	}
+}
+
+func (q *queryRefs) walkTerm(t ast.Term) {
+	switch u := t.(type) {
+	case ast.Param:
+		q.scalars = append(q.scalars, ref{u.Name, u.Pos})
+	case ast.Arith:
+		q.walkTerm(u.L)
+		q.walkTerm(u.R)
+	}
+}
+
+// resolve validates every reference against the current declarations and
+// derives the statement's scalar parameter list: term-position identifiers
+// plus bare-identifier arguments that do not name a relation variable.
+func (s *Stmt) resolve() error {
+	var q queryRefs
+	if s.rng != nil {
+		q.walkRange(s.rng)
+	} else {
+		q.walkSet(s.set)
+	}
+
+	d := s.db
+	d.mu.RLock()
+	decls := d.decls
+	st := d.Store
+	reg := d.Registry
+	d.mu.RUnlock()
+
+	for _, r := range q.rels {
+		if _, ok := st.Type(r.name); !ok {
+			return fmt.Errorf("dbpl: %s: unknown relation %q", r.pos, r.name)
+		}
+	}
+	for _, sf := range q.sufs {
+		switch sf.kind {
+		case ast.SuffixSelector:
+			decl, ok := decls.selectors[sf.name]
+			if !ok {
+				return fmt.Errorf("dbpl: %s: unknown selector %q", sf.pos, sf.name)
+			}
+			if len(decl.Params) != sf.argc {
+				return fmt.Errorf("dbpl: %s: selector %q expects %d argument(s), got %d",
+					sf.pos, sf.name, len(decl.Params), sf.argc)
+			}
+		default:
+			cons, ok := reg.Lookup(sf.name)
+			if !ok {
+				return fmt.Errorf("dbpl: %s: unknown constructor %q", sf.pos, sf.name)
+			}
+			if len(cons.Decl.Params) != sf.argc {
+				return fmt.Errorf("dbpl: %s: constructor %q expects %d argument(s), got %d",
+					sf.pos, sf.name, len(cons.Decl.Params), sf.argc)
+			}
+		}
+	}
+
+	// Parameter list: scalar-only names, then flex names that do not name a
+	// relation, deduplicated in first-appearance order.
+	seen := make(map[string]bool)
+	for _, r := range q.scalars {
+		if !seen[r.name] {
+			seen[r.name] = true
+			s.params = append(s.params, r.name)
+		}
+	}
+	for _, r := range q.flex {
+		if _, isRel := st.Type(r.name); isRel || seen[r.name] {
+			continue
+		}
+		seen[r.name] = true
+		s.params = append(s.params, r.name)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// LRU plan cache
+// ---------------------------------------------------------------------------
+
+// planCache is a mutex-guarded LRU map from query source text to prepared
+// statements, consulted by the one-shot Query entry points. The generation
+// counter advances on every clear so entries resolved before an
+// invalidation cannot be inserted after it.
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	gen uint64
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type planEntry struct {
+	key string
+	st  *Stmt
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(key string) (*Stmt, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planEntry).st, true
+}
+
+// generation returns the current invalidation generation, sampled before
+// preparing a statement intended for putAt.
+func (c *planCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// putAt inserts only if no clear ran since gen was sampled.
+func (c *planCache) putAt(gen uint64, key string, st *Stmt) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).st = st
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, st: st})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+// Len reports the number of cached plans.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// clear drops every cached plan. Called whenever the declaration state a
+// prepared statement resolved against may have changed (module execution,
+// programmatic Declare, LoadStore), so stale classifications cannot stick.
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.ll.Init()
+	clear(c.m)
+}
+
+// PlanCacheLen reports the number of cached query plans (for tests and
+// monitoring).
+func (d *DB) PlanCacheLen() int { return d.plans.Len() }
