@@ -1,7 +1,9 @@
 // dbplc compiles and runs DBPL modules: it parses, type-checks (including
 // the positivity analysis of section 3.3), reports the compilation plan of
 // section 4 (component partition, recursion analysis, per-statement
-// strategy), and executes the module's statements.
+// strategy), and executes the module's statements. Run with no file (or with
+// -repl) it drops into an interactive session with an :explain command that
+// prints the optimizer's text plan for a query.
 //
 // Execution goes through the session API, so an interrupt (Ctrl-C) or the
 // -timeout flag aborts a runaway recursive constructor mid-fixpoint instead
@@ -10,6 +12,8 @@
 // Usage:
 //
 //	dbplc file.dbpl             # compile and run
+//	dbplc                       # interactive REPL
+//	dbplc -repl file.dbpl       # run the file, then drop into the REPL
 //	dbplc -check file.dbpl      # compile only, report the analysis
 //	dbplc -graph file.dbpl      # print the augmented quant graph (DOT)
 //	dbplc -lax file.dbpl        # admit non-positive constructors
@@ -18,12 +22,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	dbpl "repro"
 
@@ -36,19 +43,25 @@ func main() {
 	lax := flag.Bool("lax", false, "admit non-positive constructors (section 3.3 escape hatch)")
 	naive := flag.Bool("naive", false, "use the naive REPEAT..UNTIL fixpoint strategy")
 	timeout := flag.Duration("timeout", 0, "abort execution after this duration (0 = no limit)")
+	replFlag := flag.Bool("repl", false, "drop into an interactive session (after running the file, if given)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] [-naive] [-timeout d] file.dbpl")
+	interactive := *replFlag || flag.NArg() == 0
+	if flag.NArg() > 1 || ((*checkOnly || *graph) && flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] [-naive] [-timeout d] [-repl] [file.dbpl]")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var src []byte
+	if flag.NArg() == 1 {
+		var err error
+		src, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
-	if *graph || *checkOnly {
+	if (*graph || *checkOnly) && src != nil {
 		prog, err := compile.Compile(string(src), compile.Options{Strict: !*lax})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
@@ -89,15 +102,125 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := db.ExecToContext(ctx, os.Stdout, string(src)); err != nil {
-		switch {
-		case errors.Is(err, context.Canceled):
-			fmt.Fprintf(os.Stderr, "%s: interrupted\n", flag.Arg(0))
-		case errors.Is(err, context.DeadlineExceeded):
-			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", flag.Arg(0), *timeout)
-		default:
-			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+	if src != nil {
+		if err := db.ExecToContext(ctx, os.Stdout, string(src)); err != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintf(os.Stderr, "%s: interrupted\n", flag.Arg(0))
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", flag.Arg(0), *timeout)
+			default:
+				fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+			}
+			os.Exit(1)
 		}
-		os.Exit(1)
+	}
+	if interactive {
+		repl(db, *timeout)
+	}
+}
+
+const replHelp = `commands:
+  :explain <query>   compile the query and print its text plan
+  :analyze <query>   execute the query and print the plan with counters
+  :show              list declared relation variables
+  :help              this help
+  :quit              exit
+anything else:
+  MODULE ... END m.  executed as a module (may span lines, ends with ".")
+  <query>            evaluated and printed, e.g. Infront[hidden_by("table")]`
+
+// repl reads commands, queries, and modules from stdin until EOF or :quit.
+// Each command runs under its own signal/timeout context, so Ctrl-C (or
+// -timeout) aborts the in-flight evaluation without ending the session.
+func repl(db *dbpl.DB, timeout time.Duration) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+
+	// withCtx runs one command under a fresh interrupt/timeout context.
+	withCtx := func(fn func(ctx context.Context) error) {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		if err := fn(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	var module strings.Builder
+	execModule := func() {
+		src := module.String()
+		module.Reset()
+		withCtx(func(ctx context.Context) error {
+			out, err := db.ExecContext(ctx, src)
+			fmt.Print(out)
+			return err
+		})
+	}
+	prompt := func() {
+		if module.Len() > 0 {
+			fmt.Print("  ... ")
+		} else {
+			fmt.Print("dbpl> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case module.Len() > 0 || strings.HasPrefix(strings.ToUpper(trimmed), "MODULE"):
+			module.WriteString(line)
+			module.WriteByte('\n')
+			// A module ends with "END <name>." — possibly on the same line
+			// it started on.
+			if strings.HasSuffix(trimmed, ".") {
+				execModule()
+			}
+		case trimmed == "":
+		case trimmed == ":quit" || trimmed == ":q" || trimmed == ":exit":
+			return
+		case trimmed == ":help" || trimmed == ":h":
+			fmt.Println(replHelp)
+		case trimmed == ":show":
+			for _, name := range db.Store.Names() {
+				if rel, ok := db.Relation(name); ok {
+					fmt.Printf("%s: %d tuple(s)\n", name, rel.Len())
+				}
+			}
+		case strings.HasPrefix(trimmed, ":explain "):
+			withCtx(func(ctx context.Context) error {
+				plan, err := db.Explain(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":explain")))
+				if err != nil {
+					return err
+				}
+				fmt.Print(plan.Text())
+				return nil
+			})
+		case strings.HasPrefix(trimmed, ":analyze "):
+			withCtx(func(ctx context.Context) error {
+				plan, err := db.ExplainQuery(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":analyze")))
+				if err != nil {
+					return err
+				}
+				fmt.Print(plan.Text())
+				return nil
+			})
+		case strings.HasPrefix(trimmed, ":"):
+			fmt.Fprintf(os.Stderr, "unknown command %s (:help lists commands)\n", trimmed)
+		default:
+			withCtx(func(ctx context.Context) error {
+				rows, err := db.QueryContext(ctx, trimmed)
+				if err != nil {
+					return err
+				}
+				fmt.Println(rows.Relation().String())
+				return rows.Close()
+			})
+		}
+		prompt()
 	}
 }

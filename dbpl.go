@@ -52,8 +52,36 @@
 //		if err := rows.Scan(&head, &tail); err != nil { ... }
 //	}
 //
-// One-shot Query and QuerySet consult an LRU plan cache keyed by source
-// text, so a repeated query string pays the parse cost once.
+// One-shot Query and QuerySet consult an LRU cache of compiled plans keyed
+// by source text, so a repeated query string pays the parse and optimization
+// cost once. The cache is invalidated whenever declarations change.
+//
+// # Plans and EXPLAIN
+//
+// Prepare lowers every query through an ordered optimizer pass pipeline —
+// flatten, selection pushdown into non-recursive constructors, magic-sets
+// restriction of recursive constructor applications to bound constants, and
+// range re-nesting (the section 4 rewrites). The compiled plan is a
+// first-class value: Stmt.Plan returns it, Explain compiles without
+// executing, and ExplainQuery executes and attaches per-run counters
+// (EXPLAIN ANALYZE style); Plan.Text renders it for humans and the struct
+// marshals to JSON. Selector applications whose body is an indexable
+// equality are answered from lazily built, copy-on-write-invalidated hash
+// partitions (the paper's physical access paths) instead of scans.
+//
+//	plan, err := db.Explain(ctx, `Infront{ahead}[hidden_by("table")]`)
+//	fmt.Print(plan.Text())   // pass trace, quantifier order, access paths
+//
+// WithOptimizer selects or reorders the pipeline by registered pass name;
+// WithoutOptimization disables rewrites and access paths entirely (useful
+// for debugging and equivalence testing).
+//
+// # Transactions
+//
+// Begin returns a snapshot transaction: queries inside it see the state as
+// of Begin plus the transaction's own writes, Commit publishes atomically
+// after re-checking selector guards against the final state, and Rollback
+// discards. Declarations are not transactional.
 //
 // Contexts are honored end to end: cancellation is checked between fixpoint
 // rounds and inside the evaluator's branch loops, so a runaway recursive

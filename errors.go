@@ -55,6 +55,9 @@ type (
 // ErrStmtClosed is returned by Stmt methods after Close.
 var ErrStmtClosed = errors.New("dbpl: statement closed")
 
+// ErrTxDone is returned by Tx methods after Commit or Rollback.
+var ErrTxDone = errors.New("dbpl: transaction has already been committed or rolled back")
+
 // wrapErr maps internal error types onto the exported surface. Parse and
 // lexical errors become *ParseError; everything else already is (or wraps)
 // an exported type and passes through.

@@ -92,6 +92,24 @@ func main() {
 		fmt.Printf("behind %q: %s\n", obj, behind)
 	}
 
+	// EXPLAIN: the compiled plan of a query — the optimizer pass trace,
+	// quantifier ordering, and chosen access paths — without executing it...
+	plan, err := db.Explain(ctx, `Infront{ahead}[hidden_by("table")]`)
+	if err != nil {
+		log.Fatalf("explain: %v", err)
+	}
+	fmt.Println("\nEXPLAIN:")
+	fmt.Print(plan.Text())
+
+	// ...and EXPLAIN ANALYZE: the same plan with one execution's counters
+	// (result rows, fixpoint rounds, partition lookups vs. scans).
+	analyzed, err := db.ExplainQuery(ctx, `Infront{ahead}[hidden_by("table")]`)
+	if err != nil {
+		log.Fatalf("explain analyze: %v", err)
+	}
+	fmt.Println("\nEXPLAIN ANALYZE:")
+	fmt.Print(analyzed.Text())
+
 	// The compiler side: the augmented quant graph of section 4 / Fig 3.
 	fmt.Println("\naugmented quant graph:")
 	fmt.Print(db.QuantGraphASCII())

@@ -1,0 +1,449 @@
+package dbpl_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	dbpl "repro"
+
+	"repro/internal/workload"
+)
+
+const cadModule = `
+MODULE cad;
+TYPE parttype   = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+TYPE aheadrel   = RELATION OF RECORD head, tail: parttype END;
+VAR Infront: infrontrel;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+END ahead;
+
+Infront := {<"vase","table">, <"table","chair">, <"chair","floor">};
+END cad.
+`
+
+const bomModule = `
+MODULE bom;
+TYPE namet  = STRING;
+TYPE bomrel = RELATION OF RECORD assembly, component: namet END;
+TYPE wurel  = RELATION OF RECORD part, usedin: namet END;
+VAR Contains: bomrel;
+
+CONSTRUCTOR explode FOR Rel: bomrel (): bomrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <p.assembly, c.component> OF
+    EACH p IN Rel, EACH c IN Rel{explode}: p.component = c.assembly
+END explode;
+
+CONSTRUCTOR invert FOR Rel: bomrel (): wurel;
+BEGIN
+  <r.component, r.assembly> OF EACH r IN Rel: TRUE
+END invert;
+
+SELECTOR of_assembly (Root: namet) FOR Rel: bomrel;
+BEGIN EACH r IN Rel: r.assembly = Root END of_assembly;
+
+SELECTOR uses_part (P: namet) FOR Rel: wurel;
+BEGIN EACH r IN Rel: r.part = P END uses_part;
+END bom.
+`
+
+const samegenModule = `
+MODULE samegen;
+TYPE person    = STRING;
+TYPE parentrel = RELATION OF RECORD child, parent: person END;
+TYPE sgrel     = RELATION OF RECORD left, right: person END;
+VAR Parent: parentrel;
+
+CONSTRUCTOR samegen FOR Rel: parentrel (): sgrel;
+BEGIN
+  <a.child, b.child> OF EACH a IN Rel, EACH b IN Rel: a.parent = b.parent,
+  <a.child, b.child> OF
+    EACH a IN Rel, EACH sg IN Rel{samegen}, EACH b IN Rel:
+    a.parent = sg.left AND sg.right = b.parent
+END samegen;
+
+Parent := {<"alice","carol">, <"bob","carol">,
+           <"carol","emma">, <"dave","emma">,
+           <"frank","dave">};
+END samegen.
+`
+
+func openWith(t testing.TB, module string, opts ...dbpl.Option) *dbpl.DB {
+	t.Helper()
+	db, err := dbpl.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(module); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExplainGolden pins the rendered text plan for the three plan shapes:
+// an indexable selector on a base relation, a magic-restricted recursive
+// constructor application, and an equi-join set expression.
+func TestExplainGolden(t *testing.T) {
+	db := openWith(t, cadModule)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{
+			query: `Infront[hidden_by("table")]`,
+			want: `query:   Infront[hidden_by("table")]  (range)
+pass:    flatten   - no set expression
+pass:    pushdown  - no set expression
+pass:    magic     - query is not Base{c}[sel(const)]
+pass:    nest      - no set expression
+quant:   base Infront
+quant:   apply [hidden_by("table")]
+path:    [hidden_by] over Infront: hash-partition(front)
+`,
+		},
+		{
+			query: `Infront{ahead}[hidden_by("table")]`,
+			want: `query:   Infront{ahead}[hidden_by("table")]  (range)
+pass:    flatten   - no set expression
+pass:    pushdown  - no set expression
+pass:    magic     + restricted ahead to front="table" via 1 adorned predicate(s)
+pass:    nest      - no set expression
+quant:   magic fixpoint c_ahead@base_infront__bf seeded front="table" over base Infront
+quant:   apply [hidden_by("table")]
+path:    [hidden_by] over Infront{ahead}: scan
+magic:   ahead bound front="table" via 1 adorned predicate(s)
+`,
+		},
+		{
+			query: `{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`,
+			want: `query:   {<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}  (range)
+pass:    flatten   - no nested single-binding ranges
+pass:    pushdown  - no selection over a non-recursive constructor
+pass:    magic     - query is not Base{c}[sel(const)]
+pass:    nest      - no single-variable conjuncts to move
+quant:   branch 0: EACH f IN Infront
+quant:   branch 0: EACH b IN Infront [probe front = f.back]
+`,
+		},
+	} {
+		p, err := db.Explain(ctx, tc.query)
+		if err != nil {
+			t.Fatalf("Explain(%s): %v", tc.query, err)
+		}
+		if got := p.Text(); got != tc.want {
+			t.Errorf("Explain(%s) text:\n%s\nwant:\n%s", tc.query, got, tc.want)
+		}
+	}
+}
+
+// TestExplainWithoutOptimization pins the disabled-pipeline rendering.
+func TestExplainWithoutOptimization(t *testing.T) {
+	db := openWith(t, cadModule, dbpl.WithoutOptimization())
+	p, err := db.Explain(context.Background(), `Infront[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `query:   Infront[hidden_by("table")]  (range)
+passes:  (optimization disabled)
+quant:   base Infront
+quant:   apply [hidden_by("table")]
+path:    [hidden_by] over Infront: scan
+`
+	if got := p.Text(); got != want {
+		t.Errorf("text:\n%s\nwant:\n%s", got, want)
+	}
+	if p.Optimized {
+		t.Error("plan claims optimized under WithoutOptimization")
+	}
+}
+
+// TestExplainJSON checks the structured form round-trips with the fields the
+// acceptance criteria name: applied passes and chosen access paths.
+func TestExplainJSON(t *testing.T) {
+	db := openWith(t, cadModule)
+	p, err := db.Explain(context.Background(), `Infront{ahead}[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded dbpl.Plan
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	if decoded.Kind != "range" || !decoded.Optimized {
+		t.Errorf("kind=%q optimized=%v", decoded.Kind, decoded.Optimized)
+	}
+	if len(decoded.Passes) != 4 {
+		t.Fatalf("got %d passes, want 4", len(decoded.Passes))
+	}
+	if !decoded.Passes[2].Applied || decoded.Passes[2].Pass != "magic" {
+		t.Errorf("magic pass not applied: %+v", decoded.Passes[2])
+	}
+	if decoded.Magic == nil || decoded.Magic.Constructor != "ahead" || decoded.Magic.BoundAttr != "front" {
+		t.Errorf("magic info: %+v", decoded.Magic)
+	}
+	// The selector applies to a derived (constructor) result, which the
+	// store never serves partitions for.
+	if len(decoded.AccessPaths) != 1 || decoded.AccessPaths[0].Kind != "scan" {
+		t.Errorf("access paths: %+v", decoded.AccessPaths)
+	}
+	// Applied directly to the published base relation, the same selector is
+	// a partition lookup.
+	p2, err := db.Explain(context.Background(), `Infront[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aps := p2.AccessPaths; len(aps) != 1 || aps[0].Kind != "hash-partition" || aps[0].Attr != "front" {
+		t.Errorf("base-relation access paths: %+v", p2.AccessPaths)
+	}
+}
+
+// TestExplainAnalyze executes and checks the EXPLAIN ANALYZE counters.
+func TestExplainAnalyze(t *testing.T) {
+	db := openWith(t, cadModule)
+	p, err := db.ExplainQuery(context.Background(), `Infront{ahead}[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Analyze
+	if a == nil {
+		t.Fatal("Analyze not filled by ExplainQuery")
+	}
+	if a.Rows != 2 {
+		t.Errorf("rows=%d, want 2 (table ahead of chair and floor)", a.Rows)
+	}
+	if a.Mode == "" || a.Rounds == 0 {
+		t.Errorf("fixpoint counters missing: %+v", a)
+	}
+	// The selector filters the magic-restricted (derived) relation, so it
+	// scans — partitions are only served over published variable values.
+	if a.Scans != 1 || a.PartitionLookups != 0 {
+		t.Errorf("access-path counters: %+v", a)
+	}
+
+	// Parameter-bound execution through a prepared statement.
+	stmt, err := db.Prepare(`Infront[hidden_by(Obj)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	if got := stmt.Plan().Params; len(got) != 1 || got[0] != "Obj" {
+		t.Fatalf("params: %v", got)
+	}
+	p2, err := stmt.ExplainQuery(context.Background(), "table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Analyze.Rows != 1 || p2.Analyze.PartitionLookups != 1 {
+		t.Errorf("analyze: %+v", p2.Analyze)
+	}
+}
+
+// TestOptimizedEquivalence runs every example workload's queries under the
+// default pipeline and under WithoutOptimization and requires identical
+// relations — the pass pipeline and the access paths must be pure
+// optimizations.
+func TestOptimizedEquivalence(t *testing.T) {
+	bom := workload.NewBOM(6, 3, 42)
+	cases := []struct {
+		name    string
+		module  string
+		setup   func(t *testing.T, db *dbpl.DB)
+		queries []string
+	}{
+		{
+			name:   "cad",
+			module: cadModule,
+			queries: []string{
+				`Infront{ahead}`,
+				`Infront{ahead}[hidden_by("table")]`,
+				`Infront{ahead}[hidden_by("vase")]`,
+				`Infront[hidden_by("table")]`,
+				`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`,
+				`{EACH v IN {EACH r IN Infront: r.front = "table"}: TRUE}`,
+			},
+		},
+		{
+			name:   "bom",
+			module: bomModule,
+			setup: func(t *testing.T, db *dbpl.DB) {
+				if err := db.Assign("Contains", bom.Contains); err != nil {
+					t.Fatal(err)
+				}
+			},
+			queries: []string{
+				`Contains{explode}`,
+				fmt.Sprintf("Contains{explode}[of_assembly(%q)]", bom.Root),
+				`Contains{invert}`,
+				fmt.Sprintf("{EACH v IN Contains{invert}: v.part = %q}", bom.Root),
+				fmt.Sprintf("Contains{invert}[uses_part(%q)]", bom.Root),
+			},
+		},
+		{
+			name:   "samegen",
+			module: samegenModule,
+			queries: []string{
+				`Parent{samegen}`,
+				`{EACH sg IN Parent{samegen}: sg.left = "alice"}`,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			optimized := openWith(t, tc.module)
+			naive := openWith(t, tc.module, dbpl.WithoutOptimization())
+			pathsOnly := openWith(t, tc.module, dbpl.WithOptimizer())
+			if tc.setup != nil {
+				tc.setup(t, optimized)
+				tc.setup(t, naive)
+				tc.setup(t, pathsOnly)
+			}
+			for _, q := range tc.queries {
+				a, err := optimized.Query(q)
+				if err != nil {
+					t.Fatalf("optimized %s: %v", q, err)
+				}
+				b, err := naive.Query(q)
+				if err != nil {
+					t.Fatalf("unoptimized %s: %v", q, err)
+				}
+				c, err := pathsOnly.Query(q)
+				if err != nil {
+					t.Fatalf("paths-only %s: %v", q, err)
+				}
+				if !a.Equal(b) {
+					t.Errorf("%s: optimized %d tuples != unoptimized %d tuples", q, a.Len(), b.Len())
+				}
+				if !a.Equal(c) {
+					t.Errorf("%s: optimized %d tuples != paths-only %d tuples", q, a.Len(), c.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestPushdownPass checks that a selection over a non-recursive constructor
+// is propagated into the constructor body (section 4 cases 1-3) and still
+// returns the right answer.
+func TestPushdownPass(t *testing.T) {
+	db := openWith(t, bomModule)
+	if err := db.Insert("Contains",
+		dbpl.NewTuple(dbpl.Str("car"), dbpl.Str("wheel")),
+		dbpl.NewTuple(dbpl.Str("wheel"), dbpl.Str("bolt")),
+	); err != nil {
+		t.Fatal(err)
+	}
+	q := `{EACH v IN Contains{invert}: v.part = "bolt"}`
+	p, err := db.Explain(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed bool
+	for _, tr := range p.Passes {
+		if tr.Pass == "pushdown" && tr.Applied {
+			pushed = true
+		}
+	}
+	if !pushed {
+		t.Fatalf("pushdown did not apply:\n%s", p.Text())
+	}
+	if !strings.Contains(p.Final, "Contains") {
+		t.Errorf("final form lost the base relation: %s", p.Final)
+	}
+	rel, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dbpl.NewTuple(dbpl.Str("bolt"), dbpl.Str("wheel"))
+	if rel.Len() != 1 || !rel.Contains(want) {
+		t.Errorf("pushdown result %s, want {%s}", rel, want)
+	}
+}
+
+// TestWithOptimizerSelection checks pipeline selection by name and rejection
+// of unknown passes.
+func TestWithOptimizerSelection(t *testing.T) {
+	if _, err := dbpl.Open(dbpl.WithOptimizer("no-such-pass")); err == nil {
+		t.Fatal("Open accepted an unknown pass name")
+	}
+	db := openWith(t, cadModule, dbpl.WithOptimizer("flatten", "magic"))
+	p, err := db.Explain(context.Background(), `Infront{ahead}[hidden_by("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Passes) != 2 || p.Passes[0].Pass != "flatten" || p.Passes[1].Pass != "magic" {
+		t.Fatalf("pipeline: %+v", p.Passes)
+	}
+	if p.Magic == nil {
+		t.Fatal("magic pass in custom pipeline did not apply")
+	}
+}
+
+// TestPlanCacheInvalidationAfterDDL checks that compiled plans are dropped
+// when a module changes the declaration state, and that re-preparation sees
+// the new declarations.
+func TestPlanCacheInvalidationAfterDDL(t *testing.T) {
+	db := openWith(t, cadModule)
+	if _, err := db.Query(`Infront[hidden_by("table")]`); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.PlanCacheLen(); n != 1 {
+		t.Fatalf("plan cache has %d entries, want 1", n)
+	}
+	// DDL: a new selector declaration must clear the cache.
+	if _, err := db.Exec(`
+MODULE ddl;
+SELECTOR behind (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.back = Obj END behind;
+END ddl.
+`); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.PlanCacheLen(); n != 0 {
+		t.Fatalf("plan cache has %d entries after DDL, want 0", n)
+	}
+	// The new declaration resolves, and its plan lands in the cache.
+	p, err := db.Explain(context.Background(), `Infront[behind("table")]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.AccessPaths) != 1 || p.AccessPaths[0].Kind != "hash-partition" || p.AccessPaths[0].Attr != "back" {
+		t.Errorf("access path for new selector: %+v", p.AccessPaths)
+	}
+	if n := db.PlanCacheLen(); n != 1 {
+		t.Fatalf("plan cache has %d entries, want 1", n)
+	}
+	// Declare also invalidates (the name could have been classified as a
+	// scalar parameter).
+	if err := db.Declare("Other", mustRelType(t, db, "infrontrel")); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.PlanCacheLen(); n != 0 {
+		t.Fatalf("plan cache has %d entries after Declare, want 0", n)
+	}
+}
+
+func mustRelType(t *testing.T, db *dbpl.DB, name string) dbpl.RelationType {
+	t.Helper()
+	rt, ok := db.Checker.RelTypes[name]
+	if !ok {
+		t.Fatalf("relation type %q not declared", name)
+	}
+	return rt
+}

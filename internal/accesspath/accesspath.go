@@ -70,37 +70,10 @@ func (l *Logical) Instantiate(base *relation.Relation, arg value.Value) (*relati
 //
 // (possibly as one conjunct of a conjunction) and returns the attribute a
 // physical access path can partition on. ok is false when the body does not
-// expose an indexable equality.
+// expose an indexable equality. It is eval.SelectorPartitionAttr, re-exported
+// here so access-path callers need not import the evaluator.
 func PartitionAttr(decl *ast.SelectorDecl) (attr string, ok bool) {
-	if len(decl.Params) != 1 {
-		return "", false
-	}
-	param := decl.Params[0].Name
-	var found string
-	var scan func(p ast.Pred)
-	scan = func(p ast.Pred) {
-		switch q := p.(type) {
-		case ast.And:
-			scan(q.L)
-			scan(q.R)
-		case ast.Cmp:
-			if q.Op != ast.OpEq {
-				return
-			}
-			if f, okF := q.L.(ast.Field); okF {
-				if pr, okP := q.R.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
-					found = f.Attr
-				}
-			}
-			if f, okF := q.R.(ast.Field); okF {
-				if pr, okP := q.L.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
-					found = f.Attr
-				}
-			}
-		}
-	}
-	scan(decl.Where)
-	return found, found != ""
+	return eval.SelectorPartitionAttr(decl)
 }
 
 // Physical is a materialized, partitioned access path: the base relation
@@ -121,8 +94,21 @@ func BuildPhysical(base *relation.Relation, attr string) (*Physical, error) {
 	if pos < 0 {
 		return nil, fmt.Errorf("accesspath: relation %s has no attribute %q", base.Type().Name, attr)
 	}
+	return BuildPhysicalAt(base, pos)
+}
+
+// BuildPhysicalAt partitions base by the attribute at the given position.
+// Positional addressing matters when the selector's For-type re-labels the
+// base relation's attributes (the paper's positional typing, section 3.1):
+// the partition position comes from the re-labelled element type, not the
+// base's own attribute names.
+func BuildPhysicalAt(base *relation.Relation, pos int) (*Physical, error) {
+	elem := base.Type().Element
+	if pos < 0 || pos >= elem.Arity() {
+		return nil, fmt.Errorf("accesspath: relation %s has no attribute position %d", base.Type().Name, pos)
+	}
 	p := &Physical{
-		base: base, attrPos: pos, attrName: attr,
+		base: base, attrPos: pos, attrName: elem.Attrs[pos].Name,
 		partitions: make(map[value.Value]*relation.Relation),
 	}
 	base.Each(func(t value.Tuple) bool {

@@ -126,6 +126,7 @@ type Stats struct {
 	Rounds      int
 	Evaluations int
 	Tuples      int // tuples in the root application's value
+	MaxDelta    int // largest per-round delta (semi-naive only)
 }
 
 // Engine evaluates constructor applications. It implements
@@ -205,6 +206,7 @@ func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.
 		Rounds:      fstats.Rounds,
 		Evaluations: fstats.Evaluations,
 		Tuples:      state[root.index].Len(),
+		MaxDelta:    fstats.MaxDeltaSize,
 	}
 	return state[root.index], nil
 }

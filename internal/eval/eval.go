@@ -38,6 +38,27 @@ type ConstructorResolver interface {
 	ApplyConstructor(ctx context.Context, name string, base *relation.Relation, args []Resolved) (*relation.Relation, error)
 }
 
+// PathProvider resolves physical access paths: given a published (immutable)
+// base relation and an attribute position, it returns the sub-relation whose
+// attribute at that position equals v. Package store supplies the lazily
+// built, copy-on-write-invalidated implementation; ok is false when the
+// provider declines (e.g. the relation is not a published store value), in
+// which case the caller falls back to a scan.
+type PathProvider interface {
+	Partition(base *relation.Relation, pos int, v value.Value) (*relation.Relation, bool)
+}
+
+// PathStats counts access-path decisions during one evaluation, surfaced by
+// EXPLAIN ANALYZE.
+type PathStats struct {
+	// PartitionLookups counts selector applications answered from a hash
+	// partition instead of a full scan.
+	PartitionLookups int
+	// Scans counts selector applications that fell back to scanning the base
+	// relation.
+	Scans int
+}
+
 // Env is the evaluation environment: relation variables (including formal
 // base-relation and relation-parameter names during constructor evaluation),
 // scalar parameters, named relation types, selector declarations, and the
@@ -48,6 +69,13 @@ type Env struct {
 	RelTypes     map[string]schema.RelationType
 	Selectors    map[string]*ast.SelectorDecl
 	Constructors ConstructorResolver
+
+	// Paths, when non-nil, serves hash-partition lookups for selector
+	// applications whose body is an indexable equality (SelectorPartitionAttr).
+	// A nil Paths means every selector application scans its base.
+	Paths PathProvider
+	// PathStats, when non-nil, receives access-path counters.
+	PathStats *PathStats
 
 	// Ctx, when non-nil, cancels long evaluations: the branch loops check it
 	// periodically and constructor applications thread it into the fixpoint
@@ -81,6 +109,8 @@ func (e *Env) Clone() *Env {
 		RelTypes:     e.RelTypes,
 		Selectors:    e.Selectors,
 		Constructors: e.Constructors,
+		Paths:        e.Paths,
+		PathStats:    e.PathStats,
 		Ctx:          e.Ctx,
 	}
 	for k, v := range e.Rels {
@@ -232,6 +262,61 @@ func (e *Env) ResolveArgs(args []ast.Arg) ([]Resolved, error) {
 	return out, nil
 }
 
+// SelectorPartitionAttr inspects a selector body for the pattern
+//
+//	EACH r IN Rel: r.attr = Param
+//
+// (possibly as one conjunct of a conjunction) and returns the attribute a
+// physical access path can partition on. ok is false when the body does not
+// expose an indexable equality on the selector's single scalar parameter.
+func SelectorPartitionAttr(decl *ast.SelectorDecl) (attr string, ok bool) {
+	if len(decl.Params) != 1 {
+		return "", false
+	}
+	param := decl.Params[0].Name
+	var found string
+	var scan func(p ast.Pred)
+	scan = func(p ast.Pred) {
+		switch q := p.(type) {
+		case ast.And:
+			scan(q.L)
+			scan(q.R)
+		case ast.Cmp:
+			if q.Op != ast.OpEq {
+				return
+			}
+			if f, okF := q.L.(ast.Field); okF {
+				if pr, okP := q.R.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
+					found = f.Attr
+				}
+			}
+			if f, okF := q.R.(ast.Field); okF {
+				if pr, okP := q.L.(ast.Param); okP && pr.Name == param && f.Var == decl.BodyVar {
+					found = f.Attr
+				}
+			}
+		}
+	}
+	scan(decl.Where)
+	return found, found != ""
+}
+
+// ApplySuffixes applies a chain of selector/constructor suffixes to an
+// already materialized base relation. It is the tail of Range, exposed for
+// execution paths that substitute the head of the chain (the magic-sets
+// restricted evaluation of a recursive constructor application).
+func (e *Env) ApplySuffixes(base *relation.Relation, sufs []ast.Suffix) (*relation.Relation, error) {
+	cur := base
+	var err error
+	for i := range sufs {
+		cur, err = e.applySuffix(cur, &sufs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
 // applySelector filters the base relation through a selector declaration —
 // the paper's Rel[sel(args)] (section 2.3, Fig 1).
 func (e *Env) applySelector(base *relation.Relation, s *ast.Suffix) (*relation.Relation, error) {
@@ -269,9 +354,30 @@ func (e *Env) applySelector(base *relation.Relation, s *ast.Suffix) (*relation.R
 			elem = rt.Element
 		}
 	}
+	// Physical access path: when the selector body pivots on an indexable
+	// equality and the argument is a scalar, the candidate set shrinks from
+	// the whole base to the hash partition for the argument value. The full
+	// predicate is still evaluated over the partition, so residual conjuncts
+	// beyond the partition equality keep their semantics.
+	iterBase := base
+	if e.Paths != nil && len(decl.Params) == 1 && args[0].IsScalar {
+		if attr, okAttr := SelectorPartitionAttr(decl); okAttr {
+			if pos := elem.IndexOf(attr); pos >= 0 {
+				if part, okPart := e.Paths.Partition(base, pos, args[0].Scalar); okPart {
+					iterBase = part
+					if e.PathStats != nil {
+						e.PathStats.PartitionLookups++
+					}
+				}
+			}
+		}
+	}
+	if iterBase == base && e.PathStats != nil {
+		e.PathStats.Scans++
+	}
 	var b bindings
 	var iterErr error
-	base.Each(func(t value.Tuple) bool {
+	iterBase.Each(func(t value.Tuple) bool {
 		if err := scoped.cancelled(); err != nil {
 			iterErr = err
 			return false

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/accesspath"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -41,18 +42,41 @@ func (e *GuardViolationError) Error() string {
 		e.Variable, e.Guard, e.Tuple)
 }
 
+// maxCachedPaths bounds the physical access-path cache; beyond it, arbitrary
+// entries are evicted (the cache is a performance aid, never a correctness
+// dependency).
+const maxCachedPaths = 64
+
+// pathKey identifies one physical access path: a published relation value
+// partitioned on one attribute position. Because published relations are
+// immutable (writers replace, never mutate), the pointer is a sound identity:
+// any write that changes a variable's value swaps in a new pointer, which
+// simply never matches the stale cache entries (copy-on-write invalidation).
+type pathKey struct {
+	rel *relation.Relation
+	pos int
+}
+
 // Database is a set of named, typed relation variables.
 type Database struct {
 	mu   sync.RWMutex
 	vars map[string]*relation.Relation
 	typs map[string]schema.RelationType
+
+	// pathMu guards the lazily built physical access paths (section 4's
+	// "physical access path ... partitions [the relation] according to the
+	// different constant values"), keyed by published relation pointer and
+	// attribute position.
+	pathMu sync.Mutex
+	paths  map[pathKey]*accesspath.Physical
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
 	return &Database{
-		vars: make(map[string]*relation.Relation),
-		typs: make(map[string]schema.RelationType),
+		vars:  make(map[string]*relation.Relation),
+		typs:  make(map[string]schema.RelationType),
+		paths: make(map[pathKey]*accesspath.Physical),
 	}
 }
 
@@ -139,10 +163,15 @@ func checkedValue(name string, typ schema.RelationType, rex *relation.Relation, 
 // constraint and the given guards. On any violation the variable keeps its
 // previous value (assignment is atomic, as the paper's conditional pattern
 // requires).
+//
+// The checks run outside db.mu: guard predicates are arbitrary selector
+// bodies that may themselves query the store (including Partition, which
+// read-locks db.mu), so holding the write lock across them would
+// self-deadlock. The check examines only rex — never the variable's current
+// value — so check-then-swap preserves the atomic last-writer-wins
+// semantics.
 func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	typ, ok := db.typs[name]
+	typ, ok := db.Type(name)
 	if !ok {
 		return fmt.Errorf("store: assignment to undeclared variable %q", name)
 	}
@@ -150,6 +179,9 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.dropPaths(db.vars[name])
 	db.vars[name] = out
 	return nil
 }
@@ -174,8 +206,96 @@ func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 			return err
 		}
 	}
+	db.dropPaths(r)
 	db.vars[name] = next
 	return nil
+}
+
+// Partition implements eval.PathProvider: it returns the sub-relation of
+// base whose attribute at pos equals v, served from a lazily built physical
+// access path. The path is built on first use for a (relation value, position)
+// pair and reused until the variable is reassigned: writers publish a new
+// relation pointer (copy-on-write), so stale paths are invalidated simply by
+// key mismatch and dropped eagerly by dropPaths.
+//
+// Partition declines (ok false) when base is not a currently published
+// variable value. That is both a correctness condition — non-published
+// relations (transaction overlays, per-execution derived results) may be
+// mutated in place or die after one execution, so a pointer-keyed cache over
+// them would serve stale or dead partitions — and the policy that keeps the
+// cache holding only paths that can actually be reused.
+func (db *Database) Partition(base *relation.Relation, pos int, v value.Value) (*relation.Relation, bool) {
+	if !db.published(base) {
+		return nil, false
+	}
+	k := pathKey{rel: base, pos: pos}
+	db.pathMu.Lock()
+	p, ok := db.paths[k]
+	db.pathMu.Unlock()
+	if !ok {
+		// Build outside pathMu: a large build must not block concurrent
+		// lookups on other relations. Two racing builders do redundant work
+		// once; last insert wins and both results are correct.
+		var err error
+		p, err = accesspath.BuildPhysicalAt(base, pos)
+		if err != nil {
+			return nil, false
+		}
+		db.pathMu.Lock()
+		if existing, dup := db.paths[k]; dup {
+			p = existing
+		} else {
+			for key := range db.paths {
+				if len(db.paths) < maxCachedPaths {
+					break
+				}
+				delete(db.paths, key)
+			}
+			db.paths[k] = p
+		}
+		db.pathMu.Unlock()
+	}
+	// Lookup is read-only on the immutable partition map once built; the
+	// returned partition is itself a published value and must not be mutated.
+	return p.Lookup(v), true
+}
+
+// published reports whether rel is the current value of some variable. The
+// pointer scan is O(#variables), far below the cost of the partition work it
+// gates.
+func (db *Database) published(rel *relation.Relation) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, r := range db.vars {
+		if r == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// CachedPaths reports the number of materialized physical access paths (for
+// tests and monitoring).
+func (db *Database) CachedPaths() int {
+	db.pathMu.Lock()
+	defer db.pathMu.Unlock()
+	return len(db.paths)
+}
+
+// dropPaths discards the access paths built over a replaced relation value.
+// Correctness does not depend on it (stale pointers never match a lookup);
+// it just keeps the cache from holding dead partitions alive.
+func (db *Database) dropPaths(old *relation.Relation) {
+	if old == nil {
+		return
+	}
+	db.pathMu.Lock()
+	for k := range db.paths {
+		if k.rel == old {
+			delete(db.paths, k)
+		}
+	}
+	db.pathMu.Unlock()
 }
 
 // Snapshot returns the current binding of every variable. The map is a
@@ -274,6 +394,7 @@ func (tx *Tx) Commit() error {
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
 	for n, r := range tx.overlay {
+		tx.db.dropPaths(tx.db.vars[n])
 		tx.db.vars[n] = r
 	}
 	return nil
@@ -284,3 +405,40 @@ func (tx *Tx) Rollback() {
 	tx.done = true
 	tx.overlay = nil
 }
+
+// Names returns the variable names visible inside the transaction (the Begin
+// snapshot plus the transaction's own writes), sorted.
+func (tx *Tx) Names() []string {
+	seen := make(map[string]bool, len(tx.base)+len(tx.overlay))
+	for n := range tx.base {
+		seen[n] = true
+	}
+	for n := range tx.overlay {
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Writes returns the names of the variables the transaction has written,
+// sorted. Exposed so commit-time guard checks can re-validate exactly the
+// written set.
+func (tx *Tx) Writes() []string {
+	out := make([]string, 0, len(tx.overlay))
+	for n := range tx.overlay {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Done reports whether the transaction has been committed or rolled back.
+func (tx *Tx) Done() bool { return tx.done }
+
+// DB returns the database the transaction began on; the session layer uses
+// the identity to detect a store swap (LoadStore) between Begin and Commit.
+func (tx *Tx) DB() *Database { return tx.db }

@@ -9,6 +9,12 @@ type config struct {
 	maxRounds     int
 	planCacheSize int
 	storeReader   io.Reader
+	// passNames selects the optimizer pass pipeline; nil means the default
+	// pipeline (flatten, pushdown, magic, nest).
+	passNames []string
+	// noOptimize disables the pass pipeline and physical access paths: every
+	// query evaluates its parsed form directly and every selector scans.
+	noOptimize bool
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
@@ -46,8 +52,8 @@ func WithMaxRounds(n int) Option {
 	return func(c *config) { c.maxRounds = n }
 }
 
-// WithPlanCacheSize sets the capacity of the LRU cache of prepared query
-// plans consulted by Query/QueryContext; 0 disables caching.
+// WithPlanCacheSize sets the capacity of the LRU cache of compiled query
+// plans consulted by Query/QueryContext/Explain; 0 disables caching.
 func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCacheSize = n }
 }
@@ -56,4 +62,27 @@ func WithPlanCacheSize(n int) Option {
 // reader, as if LoadStore were called right after Open.
 func WithStoreReader(r io.Reader) Option {
 	return func(c *config) { c.storeReader = r }
+}
+
+// WithOptimizer selects the optimizer pass pipeline by name, in order. Pass
+// names resolve against the registry in internal/optimizer (RegisterPass);
+// the built-in passes are "flatten", "nest", "pushdown", and "magic". Open
+// fails on an unknown name. An explicit empty call, WithOptimizer(), keeps
+// physical access paths but runs no rewrite passes.
+func WithOptimizer(passes ...string) Option {
+	return func(c *config) {
+		if passes == nil {
+			passes = []string{}
+		}
+		c.passNames = passes
+		c.noOptimize = false
+	}
+}
+
+// WithoutOptimization disables the optimizer entirely: no rewrite passes run
+// at Prepare time and selector applications always scan their base relation
+// instead of using physical access paths. Intended for debugging and for
+// equivalence testing against the optimized path.
+func WithoutOptimization() Option {
+	return func(c *config) { c.noOptimize = true }
 }

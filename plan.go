@@ -1,0 +1,371 @@
+package dbpl
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/optimizer"
+	"repro/internal/schema"
+)
+
+// Plan is the compiled, inspectable form of one prepared query: the pass
+// pipeline's trace, the rewritten expression that actually executes, the
+// quantifier ordering the evaluator will follow, and the access path chosen
+// for every selector application. Explain returns a Plan without executing;
+// ExplainQuery additionally fills Analyze with the counters of one execution
+// (EXPLAIN ANALYZE style). Text renders the plan for humans; the struct
+// marshals directly to JSON for machines.
+type Plan struct {
+	// Source is the query text as prepared.
+	Source string `json:"source"`
+	// Kind is "range" or "set".
+	Kind string `json:"kind"`
+	// Params lists scalar parameter names in binding order.
+	Params []string `json:"params,omitempty"`
+	// Optimized reports whether the pass pipeline ran (false under
+	// WithoutOptimization).
+	Optimized bool `json:"optimized"`
+	// Passes traces each optimizer pass in pipeline order.
+	Passes []PassTrace `json:"passes,omitempty"`
+	// Final is the rewritten form that executes (equal to Source when no
+	// pass applied).
+	Final string `json:"final"`
+	// Quantifiers lists the evaluation order: per-branch EACH bindings with
+	// equi-join probe annotations, or the base/suffix chain of a range query.
+	Quantifiers []string `json:"quantifiers,omitempty"`
+	// AccessPaths records the access path chosen for every selector
+	// application in the final form.
+	AccessPaths []AccessPath `json:"access_paths,omitempty"`
+	// Magic describes the magic-sets restriction replacing the query head,
+	// when one applies.
+	Magic *MagicInfo `json:"magic,omitempty"`
+	// Analyze holds the counters of one execution; only ExplainQuery sets it.
+	Analyze *ExecInfo `json:"analyze,omitempty"`
+}
+
+// PassTrace records one optimizer pass's outcome.
+type PassTrace struct {
+	// Pass is the registered pass name.
+	Pass string `json:"pass"`
+	// Applied reports whether the pass changed the query.
+	Applied bool `json:"applied"`
+	// Detail is a human-readable account of what the pass did (or why not).
+	Detail string `json:"detail,omitempty"`
+}
+
+// AccessPath records the access path chosen for one selector application.
+type AccessPath struct {
+	// Selector is the applied selector's name.
+	Selector string `json:"selector"`
+	// Base is the expression the selector filters.
+	Base string `json:"base"`
+	// Attr is the partition attribute, for hash-partition paths.
+	Attr string `json:"attr,omitempty"`
+	// Kind is "hash-partition" (indexable equality on the argument, served
+	// from the store's physical access path) or "scan".
+	Kind string `json:"kind"`
+}
+
+// MagicInfo describes a magic-sets restriction (section 4's constant
+// propagation into recursive constructors).
+type MagicInfo struct {
+	// Constructor is the recursive constructor whose full fixpoint is
+	// replaced by the restricted system.
+	Constructor string `json:"constructor"`
+	// BoundAttr and Const give the binding the restriction propagates.
+	BoundAttr string `json:"bound_attr"`
+	Const     string `json:"const"`
+	// Adorned lists the adorned predicates of the transformed program.
+	Adorned []string `json:"adorned,omitempty"`
+}
+
+// ExecInfo reports the work done by one execution of the plan.
+type ExecInfo struct {
+	// Rows is the result cardinality.
+	Rows int `json:"rows"`
+	// Mode, Instances, Rounds, Evaluations, and MaxDelta describe the
+	// constructor fixpoint, when one ran (Mode empty otherwise).
+	Mode        string `json:"mode,omitempty"`
+	Instances   int    `json:"instances,omitempty"`
+	Rounds      int    `json:"rounds,omitempty"`
+	Evaluations int    `json:"evaluations,omitempty"`
+	MaxDelta    int    `json:"max_delta,omitempty"`
+	// PartitionLookups and Scans count selector applications answered from a
+	// hash partition vs. by scanning the base.
+	PartitionLookups int `json:"partition_lookups"`
+	Scans            int `json:"scans"`
+}
+
+// JSON renders the plan as indented JSON.
+func (p *Plan) JSON() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// Text renders the plan as aligned text, one aspect per line.
+func (p *Plan) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:   %s  (%s)\n", p.Source, p.Kind)
+	if len(p.Params) > 0 {
+		fmt.Fprintf(&b, "params:  %s\n", strings.Join(p.Params, ", "))
+	}
+	if !p.Optimized {
+		b.WriteString("passes:  (optimization disabled)\n")
+	}
+	for _, t := range p.Passes {
+		mark := "-"
+		if t.Applied {
+			mark = "+"
+		}
+		fmt.Fprintf(&b, "pass:    %-9s %s %s\n", t.Pass, mark, t.Detail)
+	}
+	if p.Final != p.Source {
+		fmt.Fprintf(&b, "plan:    %s\n", p.Final)
+	}
+	for _, q := range p.Quantifiers {
+		fmt.Fprintf(&b, "quant:   %s\n", q)
+	}
+	for _, a := range p.AccessPaths {
+		if a.Kind == "hash-partition" {
+			fmt.Fprintf(&b, "path:    [%s] over %s: hash-partition(%s)\n", a.Selector, a.Base, a.Attr)
+		} else {
+			fmt.Fprintf(&b, "path:    [%s] over %s: scan\n", a.Selector, a.Base)
+		}
+	}
+	if p.Magic != nil {
+		fmt.Fprintf(&b, "magic:   %s bound %s=%s via %d adorned predicate(s)\n",
+			p.Magic.Constructor, p.Magic.BoundAttr, p.Magic.Const, len(p.Magic.Adorned))
+	}
+	if p.Analyze != nil {
+		a := p.Analyze
+		fmt.Fprintf(&b, "analyze: rows=%d", a.Rows)
+		if a.Mode != "" {
+			fmt.Fprintf(&b, " mode=%s instances=%d rounds=%d evaluations=%d max-delta=%d",
+				a.Mode, a.Instances, a.Rounds, a.Evaluations, a.MaxDelta)
+		}
+		fmt.Fprintf(&b, " partition-lookups=%d scans=%d\n", a.PartitionLookups, a.Scans)
+	}
+	return b.String()
+}
+
+// clone returns an independent copy (the cached Stmt's plan is shared; every
+// public accessor hands out a copy).
+func (p *Plan) clone() *Plan {
+	c := *p
+	c.Params = append([]string(nil), p.Params...)
+	c.Passes = append([]PassTrace(nil), p.Passes...)
+	c.Quantifiers = append([]string(nil), p.Quantifiers...)
+	c.AccessPaths = append([]AccessPath(nil), p.AccessPaths...)
+	if p.Magic != nil {
+		m := *p.Magic
+		m.Adorned = append([]string(nil), p.Magic.Adorned...)
+		c.Magic = &m
+	}
+	if p.Analyze != nil {
+		a := *p.Analyze
+		c.Analyze = &a
+	}
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction (Prepare time)
+// ---------------------------------------------------------------------------
+
+// buildPlan derives the public plan from the statement's compiled state.
+// varType resolves relation variable names, to distinguish relation arguments
+// from scalar parameters when classifying selector access paths.
+func (s *Stmt) buildPlan(traces []optimizer.Trace, decls *declSnapshot, varType func(string) (schema.RelationType, bool)) *Plan {
+	p := &Plan{
+		Source:    s.src,
+		Kind:      "set",
+		Params:    append([]string(nil), s.params...),
+		Optimized: !s.db.noOptimize,
+	}
+	if s.rng != nil {
+		p.Kind = "range"
+	}
+	for _, t := range traces {
+		p.Passes = append(p.Passes, PassTrace{Pass: t.Pass, Applied: t.Applied, Detail: t.Detail})
+	}
+	if s.execRng != nil {
+		p.Final = s.execRng.String()
+	} else {
+		p.Final = s.execSet.String()
+	}
+
+	// Quantifier ordering of the form that executes.
+	switch {
+	case s.magic != nil:
+		p.Quantifiers = append(p.Quantifiers,
+			fmt.Sprintf("magic fixpoint %s seeded %s=%s over base %s",
+				s.magic.GoalCons, s.magic.BoundAttr, s.magic.Const, s.execRng.Var))
+		for _, suf := range s.execRng.Suffixes[s.magic.SuffixFrom:] {
+			p.Quantifiers = append(p.Quantifiers, "apply "+suf.String())
+		}
+	case s.execRng != nil:
+		if s.execRng.Sub != nil {
+			p.Quantifiers = append(p.Quantifiers, branchLines(s.execRng.Sub)...)
+		} else {
+			p.Quantifiers = append(p.Quantifiers, "base "+s.execRng.Var)
+		}
+		for _, suf := range s.execRng.Suffixes {
+			p.Quantifiers = append(p.Quantifiers, "apply "+suf.String())
+		}
+	default:
+		p.Quantifiers = branchLines(s.execSet)
+	}
+
+	// Access path per selector application in the final form.
+	isScalarArg := func(a *ast.Arg) bool {
+		if a.Scalar != nil {
+			return true
+		}
+		if a.Rel != nil && a.Rel.Sub == nil && len(a.Rel.Suffixes) == 0 {
+			_, isRel := varType(a.Rel.Var)
+			return !isRel
+		}
+		return false
+	}
+	walkPlanRanges(s.execRng, s.execSet, func(r *ast.Range) {
+		for i := range r.Suffixes {
+			suf := &r.Suffixes[i]
+			if suf.Kind != ast.SuffixSelector {
+				continue
+			}
+			prefix := &ast.Range{Var: r.Var, Sub: r.Sub, Suffixes: r.Suffixes[:i]}
+			entry := AccessPath{Selector: suf.Name, Base: prefix.String(), Kind: "scan"}
+			// The store only serves partitions over published variable
+			// values, so a hash-partition path requires the selector to
+			// apply directly to a relation variable — derived bases
+			// (constructor results, sub-expressions) always scan.
+			_, baseIsVar := varType(r.Var)
+			onPublished := i == 0 && r.Sub == nil && baseIsVar
+			if decl, ok := decls.selectors[suf.Name]; ok && p.Optimized && onPublished &&
+				len(suf.Args) == 1 && isScalarArg(&suf.Args[0]) {
+				if attr, okAttr := eval.SelectorPartitionAttr(decl); okAttr {
+					entry.Attr = attr
+					entry.Kind = "hash-partition"
+				}
+			}
+			p.AccessPaths = append(p.AccessPaths, entry)
+		}
+	})
+
+	if s.magic != nil {
+		p.Magic = &MagicInfo{
+			Constructor: s.magic.Constructor,
+			BoundAttr:   s.magic.BoundAttr,
+			Const:       s.magic.Const.String(),
+			Adorned:     append([]string(nil), s.magic.Adorned...),
+		}
+	}
+	return p
+}
+
+// branchLines renders the quantifier ordering of a set expression: one line
+// per binding, in the nesting order the evaluator follows, annotated with the
+// equi-join probe the physical planner will use (an equality conjunct whose
+// other side binds strictly earlier).
+func branchLines(s *ast.SetExpr) []string {
+	var out []string
+	for bi := range s.Branches {
+		br := &s.Branches[bi]
+		if br.Literal != nil {
+			out = append(out, fmt.Sprintf("branch %d: literal %s", bi, br.String()))
+			continue
+		}
+		varPos := make(map[string]int, len(br.Binds))
+		for i, bd := range br.Binds {
+			varPos[bd.Var] = i
+		}
+		probes := make(map[int][]string)
+		if br.Where != nil {
+			for _, c := range flattenAnd(br.Where, nil) {
+				cmp, ok := c.(ast.Cmp)
+				if !ok || cmp.Op != ast.OpEq {
+					continue
+				}
+				if !notePlanProbe(probes, varPos, cmp.L, cmp.R) {
+					notePlanProbe(probes, varPos, cmp.R, cmp.L)
+				}
+			}
+		}
+		for i, bd := range br.Binds {
+			line := fmt.Sprintf("branch %d: EACH %s IN %s", bi, bd.Var, bd.Range)
+			if ps := probes[i]; len(ps) > 0 {
+				line += " [probe " + strings.Join(ps, ", ") + "]"
+			}
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// notePlanProbe records lhs (a field of some binding) probed by rhs when every
+// tuple variable of rhs binds strictly earlier — the static mirror of the
+// evaluator's index-probe selection.
+func notePlanProbe(probes map[int][]string, varPos map[string]int, lhs, rhs ast.Term) bool {
+	f, ok := lhs.(ast.Field)
+	if !ok {
+		return false
+	}
+	i, ok := varPos[f.Var]
+	if !ok {
+		return false
+	}
+	for v := range termVars(rhs, nil) {
+		j, ok := varPos[v]
+		if !ok || j >= i {
+			return false
+		}
+	}
+	probes[i] = append(probes[i], f.Attr+" = "+rhs.String())
+	return true
+}
+
+func termVars(t ast.Term, out map[string]bool) map[string]bool {
+	if out == nil {
+		out = make(map[string]bool)
+	}
+	switch u := t.(type) {
+	case ast.Field:
+		out[u.Var] = true
+	case ast.Arith:
+		termVars(u.L, out)
+		termVars(u.R, out)
+	}
+	return out
+}
+
+func flattenAnd(p ast.Pred, out []ast.Pred) []ast.Pred {
+	if a, ok := p.(ast.And); ok {
+		out = flattenAnd(a.L, out)
+		return flattenAnd(a.R, out)
+	}
+	return append(out, p)
+}
+
+// walkPlanRanges visits every range of the query form, including suffix
+// arguments and nested sub-expressions.
+func walkPlanRanges(rng *ast.Range, set *ast.SetExpr, fn func(*ast.Range)) {
+	var deep func(r *ast.Range)
+	deep = func(r *ast.Range) {
+		fn(r)
+		if r.Sub != nil {
+			ast.WalkRanges(r.Sub, fn)
+		}
+		for i := range r.Suffixes {
+			for _, a := range r.Suffixes[i].Args {
+				if a.Rel != nil {
+					deep(a.Rel)
+				}
+			}
+		}
+	}
+	if rng != nil {
+		deep(rng)
+		return
+	}
+	ast.WalkRanges(set, fn)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/optimizer"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -63,6 +64,13 @@ type DB struct {
 	lastStats Stats
 
 	plans *planCache
+
+	// passes is the optimizer pass pipeline run at Prepare time; nil when the
+	// pipeline is empty. noOptimize additionally disables physical access
+	// paths, so every selector application scans. Both are fixed at Open and
+	// read without locking afterwards.
+	passes     []optimizer.Pass
+	noOptimize bool
 }
 
 // Open returns an empty database configured by the given options; with no
@@ -76,12 +84,30 @@ func Open(opts ...Option) (*DB, error) {
 	env := eval.NewEnv()
 	reg := core.NewRegistry()
 	d := &DB{
-		Store:    store.NewDatabase(),
-		Checker:  typecheck.New(),
-		Registry: reg,
-		env:      env,
-		Strict:   cfg.strict,
-		plans:    newPlanCache(cfg.planCacheSize),
+		Store:      store.NewDatabase(),
+		Checker:    typecheck.New(),
+		Registry:   reg,
+		env:        env,
+		Strict:     cfg.strict,
+		plans:      newPlanCache(cfg.planCacheSize),
+		noOptimize: cfg.noOptimize,
+	}
+	if !cfg.noOptimize {
+		names := cfg.passNames
+		if names == nil {
+			names = optimizer.DefaultPassNames()
+		}
+		for _, n := range names {
+			p, ok := optimizer.NewPass(n)
+			if !ok {
+				return nil, fmt.Errorf("dbpl: unknown optimizer pass %q (registered: %v)",
+					n, optimizer.PassNames())
+			}
+			d.passes = append(d.passes, p)
+		}
+		// Selector applications on the module-execution path share the
+		// store's physical access paths too.
+		env.Paths = d.Store
 	}
 	d.Engine = core.NewEngine(reg, env)
 	d.Engine.Mode = cfg.mode
@@ -198,6 +224,11 @@ type declSnapshot struct {
 	selectors map[string]*ast.SelectorDecl
 	relTypes  map[string]schema.RelationType
 	scalars   map[string]value.Value
+	// consigs and recursive feed the optimizer pass pipeline: the resolved
+	// constructor signatures accumulated by the type checker and the
+	// constructors on cycles of the application graph.
+	consigs   map[string]*typecheck.ConstructorSig
+	recursive map[string]bool
 }
 
 // rebuildDecls republishes the declaration snapshot from d.env. Caller holds
@@ -207,6 +238,7 @@ func (d *DB) rebuildDecls() {
 		selectors: make(map[string]*ast.SelectorDecl, len(d.env.Selectors)),
 		relTypes:  make(map[string]schema.RelationType, len(d.env.RelTypes)),
 		scalars:   make(map[string]value.Value, len(d.env.Scalars)),
+		consigs:   make(map[string]*typecheck.ConstructorSig, len(d.Checker.Constructors)),
 	}
 	for k, v := range d.env.Selectors {
 		snap.selectors[k] = v
@@ -217,15 +249,18 @@ func (d *DB) rebuildDecls() {
 	for k, v := range d.env.Scalars {
 		snap.scalars[k] = v
 	}
+	for k, v := range d.Checker.Constructors {
+		snap.consigs[k] = v
+	}
+	snap.recursive = optimizer.RecursiveFromSigs(snap.consigs)
 	d.decls = snap
 }
 
-// callEnv builds a private evaluation environment for one query: the
+// baseCallEnv builds a private evaluation environment for one query — the
 // published declaration snapshot (shared by reference — it is immutable)
-// plus a snapshot of the relation variables, wired to a private engine. The
-// environment is independent of the DB after this returns, so evaluation
-// proceeds without holding any DB lock and writers cannot disturb it.
-func (d *DB) callEnv(ctx context.Context) (*eval.Env, *core.Engine) {
+// wired to a private engine — leaving the relation bindings to the caller.
+// It returns the store pointer sampled under the same lock.
+func (d *DB) baseCallEnv(ctx context.Context) (*eval.Env, *core.Engine, *store.Database) {
 	d.mu.RLock()
 	decls := d.decls
 	st := d.Store
@@ -241,13 +276,39 @@ func (d *DB) callEnv(ctx context.Context) (*eval.Env, *core.Engine) {
 	for k, v := range decls.scalars {
 		env.Scalars[k] = v
 	}
-	for name, rel := range st.Snapshot() {
-		env.Rels[name] = rel
+	if !d.noOptimize {
+		// Selector applications over published relations answer from the
+		// store's lazily built hash partitions instead of scanning.
+		env.Paths = st
 	}
 	env.Ctx = ctx
 	en := core.NewEngine(reg, env)
 	en.Mode = mode
 	en.MaxRounds = maxRounds
+	return env, en, st
+}
+
+// callEnv is baseCallEnv plus a snapshot of the relation variables. The
+// environment is independent of the DB after this returns, so evaluation
+// proceeds without holding any DB lock and writers cannot disturb it.
+func (d *DB) callEnv(ctx context.Context) (*eval.Env, *core.Engine) {
+	env, en, st := d.baseCallEnv(ctx)
+	for name, rel := range st.Snapshot() {
+		env.Rels[name] = rel
+	}
+	return env, en
+}
+
+// txCallEnv is callEnv with the relation bindings taken from a transaction's
+// view (Begin snapshot plus the transaction's own writes) instead of the
+// store's current state.
+func (d *DB) txCallEnv(ctx context.Context, tx *store.Tx) (*eval.Env, *core.Engine) {
+	env, en, _ := d.baseCallEnv(ctx)
+	for _, name := range tx.Names() {
+		if r, ok := tx.Get(name); ok {
+			env.Rels[name] = r
+		}
+	}
 	return env, en
 }
 
@@ -311,6 +372,9 @@ func (d *DB) LoadStore(r io.Reader) error {
 	// relations do not keep resolving after the swap; the next statement
 	// re-binds from the new store.
 	d.env.Rels = make(map[string]*relation.Relation)
+	if !d.noOptimize {
+		d.env.Paths = db
+	}
 	for _, name := range db.Names() {
 		if t, ok := db.Type(name); ok {
 			d.Checker.Vars[name] = t

@@ -8,29 +8,53 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/horn"
+	"repro/internal/optimizer"
 	"repro/internal/parser"
 	"repro/internal/relation"
 )
 
-// Stmt is a prepared query: the source is parsed and its relation, selector,
-// and constructor references resolved once, then the statement can be
-// executed any number of times — concurrently, if desired — against the
-// database's current state. Scalar parameters (bare identifiers that do not
-// name a relation variable) are bound positionally on each Query call, in
-// order of first appearance in the source.
+// Stmt is a prepared query: Prepare parses the source, resolves its relation,
+// selector, and constructor references, and lowers it through the optimizer
+// pass pipeline (flatten, nest, selection pushdown, magic sets — see
+// WithOptimizer) exactly once. The resulting compiled plan, inspectable via
+// Plan, is what every Query call executes — concurrently, if desired —
+// against a snapshot of the database's current state. Scalar parameters (bare
+// identifiers that do not name a relation variable) are bound positionally on
+// each Query call, in order of first appearance in the source.
 //
-// Physical planning (join index selection) happens per execution, because
-// indexes are built against the relation values of the execution's snapshot.
+// Planning is split across the statement lifecycle: logical rewrites run once
+// at Prepare time; physical structures are per-value. Equi-join probe indexes
+// are built per execution against the relation values of that execution's
+// snapshot, while selector access paths (hash partitions) are built lazily by
+// the store and invalidated copy-on-write when the underlying variable is
+// reassigned, so repeated executions share them.
+//
+// Close invalidates only this handle; it does not touch the DB's plan cache,
+// which holds its own statements (keyed by source text, evicted by LRU and
+// cleared whenever declarations change).
 type Stmt struct {
 	db     *DB
 	src    string
-	rng    *ast.Range   // exactly one of rng/set is non-nil
+	rng    *ast.Range   // parsed form; exactly one of rng/set is non-nil
 	set    *ast.SetExpr //
 	params []string     // scalar parameter names, first-appearance order
+
+	// execRng/execSet are the pipeline's rewritten forms, executed by Query;
+	// they alias rng/set when no pass applied. magic, when non-nil, replaces
+	// the head of execRng with a magic-restricted fixpoint over magicReg.
+	execRng  *ast.Range
+	execSet  *ast.SetExpr
+	magic    *optimizer.MagicPlan
+	magicReg *core.Registry
+	plan     *Plan
+
 	closed atomic.Bool
 }
 
-// Prepare parses and resolves a query — a range expression such as
+// Prepare parses, resolves, and plans a query — a range expression such as
 // `Infront[hidden_by(Obj)]{ahead}` or a set expression such as
 // `{EACH r IN Infront: TRUE}` — for repeated execution.
 func (d *DB) Prepare(src string) (*Stmt, error) {
@@ -49,7 +73,57 @@ func (d *DB) Prepare(src string) (*Stmt, error) {
 	if err := st.resolve(); err != nil {
 		return nil, err
 	}
+	st.compile()
 	return st, nil
+}
+
+// compile lowers the parsed query through the optimizer pass pipeline over a
+// private deep copy of the AST and records the resulting plan. Pass failures
+// never fail preparation — every pass is an optimization, not a semantic
+// requirement — they are recorded in the plan's trace instead.
+func (s *Stmt) compile() {
+	d := s.db
+	d.mu.RLock()
+	decls := d.decls
+	st := d.Store
+	d.mu.RUnlock()
+
+	q := &optimizer.Query{}
+	if s.rng != nil {
+		q.Rng = ast.CopyRange(s.rng)
+	} else {
+		q.Set = ast.CopySetExpr(s.set)
+	}
+	var traces []optimizer.Trace
+	if !d.noOptimize && len(d.passes) > 0 {
+		pctx := &optimizer.Context{
+			Selectors:    decls.selectors,
+			Constructors: decls.consigs,
+			RelTypes:     decls.relTypes,
+			Recursive:    decls.recursive,
+			VarType:      st.Type,
+		}
+		traces = optimizer.RunPipeline(d.passes, q, pctx)
+	}
+	s.execRng, s.execSet, s.magic = q.Rng, q.Set, q.Magic
+
+	if s.magic != nil {
+		reg := core.NewRegistry()
+		for _, pred := range s.magic.Bundle.IDB {
+			if _, err := reg.Register(s.magic.Bundle.Decls[pred], s.magic.Bundle.RelTypes[pred]); err != nil {
+				// Registration failure (e.g. a transformed rule tripping the
+				// positivity check) demotes the query to unrestricted
+				// execution; the trace keeps the reason visible in EXPLAIN.
+				traces = append(traces, optimizer.Trace{
+					Pass: "magic", Detail: "error: registering restricted system: " + err.Error()})
+				s.magic = nil
+				reg = nil
+				break
+			}
+		}
+		s.magicReg = reg
+	}
+	s.plan = s.buildPlan(traces, decls, st.Type)
 }
 
 // prepareCached returns the plan-cached statement for src, preparing and
@@ -79,7 +153,9 @@ func (s *Stmt) Params() []string {
 	return out
 }
 
-// Close invalidates the statement. Executions in flight are unaffected.
+// Close invalidates the statement handle. Executions in flight are
+// unaffected, and the DB's plan cache (which holds its own statements) is not
+// touched — a subsequent one-shot Query of the same source still hits it.
 func (s *Stmt) Close() error {
 	s.closed.Store(true)
 	return nil
@@ -89,7 +165,7 @@ func (s *Stmt) Close() error {
 // binding args positionally to the statement's scalar parameters (Value,
 // string, int, int64, or bool).
 func (s *Stmt) Query(ctx context.Context, args ...any) (*Relation, error) {
-	rel, err := s.exec(ctx, args)
+	rel, err := s.exec(ctx, args, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +174,27 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Relation, error) {
 
 // QueryRows is Query with a streaming row cursor over the result.
 func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
-	rel, err := s.exec(ctx, args)
+	rel, err := s.exec(ctx, args, nil)
 	if err != nil {
 		return nil, err
 	}
 	return newRows(rel), nil
 }
 
-func (s *Stmt) exec(ctx context.Context, args []any) (*relation.Relation, error) {
+// execStats collects per-execution counters for EXPLAIN ANALYZE.
+type execStats struct {
+	paths  eval.PathStats
+	engine core.Stats
+}
+
+func (s *Stmt) exec(ctx context.Context, args []any, ex *execStats) (*relation.Relation, error) {
+	env, en := s.db.callEnv(ctx)
+	return s.execWith(ctx, env, en, args, ex)
+}
+
+// execWith runs the compiled plan in a prepared environment (the usual
+// snapshot env from callEnv, or a transaction's view from txCallEnv).
+func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, args []any, ex *execStats) (*relation.Relation, error) {
 	if s.closed.Load() {
 		return nil, ErrStmtClosed
 	}
@@ -116,7 +205,9 @@ func (s *Stmt) exec(ctx context.Context, args []any) (*relation.Relation, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	env, en := s.db.callEnv(ctx)
+	if ex != nil {
+		env.PathStats = &ex.paths
+	}
 	for i, name := range s.params {
 		v, err := toValue(args[i])
 		if err != nil {
@@ -126,16 +217,67 @@ func (s *Stmt) exec(ctx context.Context, args []any) (*relation.Relation, error)
 	}
 	var rel *relation.Relation
 	var err error
-	if s.rng != nil {
-		rel, err = env.Range(s.rng)
-	} else {
-		rel, err = env.SetExpr(s.set, nil)
+	switch {
+	case s.magic != nil:
+		rel, err = s.execMagic(ctx, env, ex)
+	case s.execRng != nil:
+		rel, err = env.Range(s.execRng)
+	default:
+		rel, err = env.SetExpr(s.execSet, nil)
 	}
 	if err != nil {
 		return nil, wrapErr(err)
 	}
 	s.db.recordStats(en)
+	if ex != nil && en.LastStats != (core.Stats{}) {
+		ex.engine = en.LastStats
+	}
 	return rel, nil
+}
+
+// execMagic executes the magic-sets plan: instead of computing the recursive
+// constructor's full least fixpoint and filtering, it evaluates the
+// magic-transformed system seeded with the selector's constant, re-labels the
+// (much smaller) restricted result to the constructor's result type, and
+// applies the query's suffixes from the selector onward — the original
+// selector acting as the final filter that makes the restriction exact.
+func (s *Stmt) execMagic(ctx context.Context, env *eval.Env, ex *execStats) (*relation.Relation, error) {
+	mp := s.magic
+	base, ok := env.Rels[s.execRng.Var]
+	if !ok {
+		return nil, fmt.Errorf("dbpl: unknown relation %q", s.execRng.Var)
+	}
+	d := s.db
+	d.mu.RLock()
+	mode := d.Engine.Mode
+	maxRounds := d.Engine.MaxRounds
+	d.mu.RUnlock()
+
+	en := core.NewEngine(s.magicReg, eval.NewEnv())
+	en.Mode = mode
+	en.MaxRounds = maxRounds
+	args := make([]eval.Resolved, 0, len(mp.Bundle.EDB)+len(mp.Bundle.IDB))
+	for _, pred := range mp.Bundle.EDB {
+		if pred == mp.BasePred {
+			args = append(args, eval.Resolved{Rel: horn.RetypeRelation(mp.Bundle.RelTypes[pred], base)})
+		} else {
+			args = append(args, eval.Resolved{Rel: relation.New(mp.Bundle.RelTypes[pred])})
+		}
+	}
+	for _, pred := range mp.Bundle.IDB {
+		args = append(args, eval.Resolved{Rel: relation.New(mp.Bundle.RelTypes[pred])})
+	}
+	seed := relation.New(mp.Bundle.RelTypes[mp.GoalPred])
+	res, err := en.ApplyContext(ctx, mp.GoalCons, seed, args)
+	if err != nil {
+		return nil, err
+	}
+	s.db.recordStats(en)
+	if ex != nil {
+		ex.engine = en.LastStats
+	}
+	restricted := horn.RetypeRelation(mp.Result, res)
+	return env.ApplySuffixes(restricted, s.execRng.Suffixes[mp.SuffixFrom:])
 }
 
 // ---------------------------------------------------------------------------
