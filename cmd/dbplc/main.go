@@ -19,6 +19,8 @@
 //	dbplc -lax file.dbpl        # admit non-positive constructors
 //	dbplc -naive file.dbpl      # use the paper's naive fixpoint loop
 //	dbplc -timeout 10s f.dbpl   # bound total execution time
+//	dbplc -path dir f.dbpl      # durable store: recover dir, log mutations
+//	dbplc -path dir -sync never # relax the fsync policy (process-crash safe)
 package main
 
 import (
@@ -44,6 +46,8 @@ func main() {
 	naive := flag.Bool("naive", false, "use the naive REPEAT..UNTIL fixpoint strategy")
 	timeout := flag.Duration("timeout", 0, "abort execution after this duration (0 = no limit)")
 	replFlag := flag.Bool("repl", false, "drop into an interactive session (after running the file, if given)")
+	path := flag.String("path", "", "durable store directory: recover it on start, write-ahead log every mutation")
+	syncMode := flag.String("sync", "always", "fsync policy for -path: always (machine-crash safe) or never (process-crash safe)")
 	flag.Parse()
 
 	interactive := *replFlag || flag.NArg() == 0
@@ -97,13 +101,27 @@ func main() {
 	if *naive {
 		mode = dbpl.Naive
 	}
-	db, err := dbpl.Open(dbpl.WithStrict(!*lax), dbpl.WithMode(mode))
+	opts := []dbpl.Option{dbpl.WithStrict(!*lax), dbpl.WithMode(mode)}
+	if *path != "" {
+		sp := dbpl.SyncAlways
+		switch *syncMode {
+		case "always":
+		case "never":
+			sp = dbpl.SyncNever
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -sync policy %q (want always or never)\n", *syncMode)
+			os.Exit(2)
+		}
+		opts = append(opts, dbpl.WithPath(*path), dbpl.WithSync(sp))
+	}
+	db, err := dbpl.Open(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if src != nil {
 		if err := db.ExecToContext(ctx, os.Stdout, string(src)); err != nil {
+			db.Close()
 			switch {
 			case errors.Is(err, context.Canceled):
 				fmt.Fprintf(os.Stderr, "%s: interrupted\n", flag.Arg(0))
@@ -117,6 +135,10 @@ func main() {
 	}
 	if interactive {
 		repl(db, *timeout)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -87,6 +87,19 @@
 // rounds and inside the evaluator's branch loops, so a runaway recursive
 // constructor can be aborted.
 //
+// # Durability
+//
+// Open(WithPath(dir)) backs the database with a write-ahead log and snapshot
+// checkpoints in dir: every state-changing operation on the base relations —
+// module DDL, Insert, Assign, LoadStore, and each Tx commit as one atomic
+// batch — is logged before it is published, and Open recovers snapshot plus
+// committed log tail, truncating a torn or corrupt tail at the last complete
+// record. Derived constructor results are never logged; they recompute from
+// the recovered base relations. WithSync selects fsync-per-commit
+// (SyncAlways, the default) or OS-buffered (SyncNever); WithCheckpointEvery
+// tunes automatic log compaction; Checkpoint forces it; Close syncs and
+// detaches the log.
+//
 // The pre-session entry points (New, Exec, Query, QuerySet, Apply) remain
 // as thin wrappers over the context-aware API.
 package dbpl

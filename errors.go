@@ -10,6 +10,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/typecheck"
+	"repro/internal/wal"
 )
 
 // ParseError reports a syntax (or lexical) error with its source position.
@@ -50,6 +51,14 @@ type (
 	// BoundExceededError reports that the fixpoint round bound was hit
 	// before convergence.
 	BoundExceededError = fixpoint.BoundExceededError
+	// RecoveryError reports a durable database whose write-ahead log holds a
+	// checksum-valid record that cannot be applied (true corruption, not a
+	// torn tail — torn tails are truncated silently on Open).
+	RecoveryError = wal.RecoveryError
+	// CorruptSnapshotError reports a durable database whose newest snapshot
+	// checkpoint does not load; Open refuses to silently restart empty or
+	// roll back to an older generation.
+	CorruptSnapshotError = wal.CorruptSnapshotError
 )
 
 // ErrStmtClosed is returned by Stmt methods after Close.
@@ -57,6 +66,10 @@ var ErrStmtClosed = errors.New("dbpl: statement closed")
 
 // ErrTxDone is returned by Tx methods after Commit or Rollback.
 var ErrTxDone = errors.New("dbpl: transaction has already been committed or rolled back")
+
+// ErrClosed is wrapped by mutations attempted on a durable database after
+// Close (match with errors.Is).
+var ErrClosed = wal.ErrClosed
 
 // wrapErr maps internal error types onto the exported surface. Parse and
 // lexical errors become *ParseError; everything else already is (or wraps)

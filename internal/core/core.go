@@ -142,8 +142,12 @@ type Engine struct {
 	// MaxRounds bounds iterations of non-monotonic systems; 0 means a
 	// large default.
 	MaxRounds int
-	// LastStats records the most recent top-level Apply.
+	// LastStats records the most recent top-level Apply. Its zero value is a
+	// legitimate outcome, so "did anything run" is answered by Applies, not
+	// by comparing LastStats against Stats{}.
 	LastStats Stats
+	// Applies counts completed top-level Apply calls on this engine.
+	Applies uint64
 }
 
 // NewEngine creates an engine over a registry and global environment and
@@ -200,6 +204,7 @@ func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.
 		return nil, fmt.Errorf("constructor %s: %w", name, err)
 	}
 	root := sys.byKey[rootKey]
+	en.Applies++
 	en.LastStats = Stats{
 		Mode:        mode,
 		Instances:   len(sys.instances),

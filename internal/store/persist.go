@@ -3,7 +3,9 @@ package store
 // Binary persistence for databases: a small self-describing format (magic,
 // version, per-variable type descriptor and tuple block). The format is
 // deliberately simple — length-prefixed strings, varint counts — and
-// round-trips every schema feature (subranges, keys).
+// round-trips every schema feature (subranges, keys). The low-level codecs
+// are exported for package wal, which logs the same type descriptors and
+// values record by record.
 
 import (
 	"bufio"
@@ -21,22 +23,25 @@ const (
 	version = 1
 )
 
-func writeUvarint(w *bufio.Writer, u uint64) error {
+// WriteUvarint writes an unsigned varint.
+func WriteUvarint(w *bufio.Writer, u uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], u)
 	_, err := w.Write(buf[:n])
 	return err
 }
 
-func writeString(w *bufio.Writer, s string) error {
-	if err := writeUvarint(w, uint64(len(s))); err != nil {
+// WriteString writes a length-prefixed string.
+func WriteString(w *bufio.Writer, s string) error {
+	if err := WriteUvarint(w, uint64(len(s))); err != nil {
 		return err
 	}
 	_, err := w.WriteString(s)
 	return err
 }
 
-func readString(r *bufio.Reader) (string, error) {
+// ReadString reads a length-prefixed string.
+func ReadString(r *bufio.Reader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
@@ -51,7 +56,8 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-func writeValue(w *bufio.Writer, v value.Value) error {
+// WriteValue writes one scalar value (kind byte plus payload).
+func WriteValue(w *bufio.Writer, v value.Value) error {
 	if err := w.WriteByte(byte(v.Kind())); err != nil {
 		return err
 	}
@@ -62,7 +68,7 @@ func writeValue(w *bufio.Writer, v value.Value) error {
 		_, err := w.Write(buf[:n])
 		return err
 	case value.KindString:
-		return writeString(w, v.AsString())
+		return WriteString(w, v.AsString())
 	case value.KindBool:
 		b := byte(0)
 		if v.AsBool() {
@@ -74,7 +80,8 @@ func writeValue(w *bufio.Writer, v value.Value) error {
 	}
 }
 
-func readValue(r *bufio.Reader) (value.Value, error) {
+// ReadValue reads one scalar value.
+func ReadValue(r *bufio.Reader) (value.Value, error) {
 	k, err := r.ReadByte()
 	if err != nil {
 		return value.Value{}, err
@@ -87,7 +94,7 @@ func readValue(r *bufio.Reader) (value.Value, error) {
 		}
 		return value.Int(i), nil
 	case value.KindString:
-		s, err := readString(r)
+		s, err := ReadString(r)
 		if err != nil {
 			return value.Value{}, err
 		}
@@ -104,7 +111,7 @@ func readValue(r *bufio.Reader) (value.Value, error) {
 }
 
 func writeScalarType(w *bufio.Writer, t schema.ScalarType) error {
-	if err := writeString(w, t.Name); err != nil {
+	if err := WriteString(w, t.Name); err != nil {
 		return err
 	}
 	if err := w.WriteByte(byte(t.Kind)); err != nil {
@@ -134,7 +141,7 @@ func writeScalarType(w *bufio.Writer, t schema.ScalarType) error {
 func readScalarType(r *bufio.Reader) (schema.ScalarType, error) {
 	var t schema.ScalarType
 	var err error
-	if t.Name, err = readString(r); err != nil {
+	if t.Name, err = ReadString(r); err != nil {
 		return t, err
 	}
 	k, err := r.ReadByte()
@@ -158,10 +165,87 @@ func readScalarType(r *bufio.Reader) (schema.ScalarType, error) {
 	return t, nil
 }
 
+// WriteRelationType writes a full relation type descriptor (type name,
+// attributes with domains, key).
+func WriteRelationType(w *bufio.Writer, typ schema.RelationType) error {
+	if err := WriteString(w, typ.Name); err != nil {
+		return err
+	}
+	if err := WriteUvarint(w, uint64(typ.Element.Arity())); err != nil {
+		return err
+	}
+	for _, a := range typ.Element.Attrs {
+		if err := WriteString(w, a.Name); err != nil {
+			return err
+		}
+		if err := writeScalarType(w, a.Type); err != nil {
+			return err
+		}
+	}
+	if err := WriteUvarint(w, uint64(len(typ.Key))); err != nil {
+		return err
+	}
+	for _, k := range typ.Key {
+		if err := WriteString(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRelationType reads a relation type descriptor written by
+// WriteRelationType.
+func ReadRelationType(r *bufio.Reader) (schema.RelationType, error) {
+	var typ schema.RelationType
+	var err error
+	if typ.Name, err = ReadString(r); err != nil {
+		return typ, err
+	}
+	arity, err := binary.ReadUvarint(r)
+	if err != nil {
+		return typ, err
+	}
+	if arity > 1<<20 {
+		return typ, fmt.Errorf("store: corrupt arity %d", arity)
+	}
+	attrs := make([]schema.Attribute, arity)
+	for j := range attrs {
+		if attrs[j].Name, err = ReadString(r); err != nil {
+			return typ, err
+		}
+		if attrs[j].Type, err = readScalarType(r); err != nil {
+			return typ, err
+		}
+	}
+	typ.Element = schema.RecordType{Attrs: attrs}
+	nKey, err := binary.ReadUvarint(r)
+	if err != nil {
+		return typ, err
+	}
+	if nKey > arity {
+		return typ, fmt.Errorf("store: corrupt key length %d", nKey)
+	}
+	key := make([]string, nKey)
+	for j := range key {
+		if key[j], err = ReadString(r); err != nil {
+			return typ, err
+		}
+	}
+	typ.Key = key
+	return typ, nil
+}
+
 // Save writes the database (types and contents) to w.
 func (db *Database) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.saveLocked(w)
+}
+
+// saveLocked is Save's body, callable while db.mu is already held (the
+// write-ahead logger snapshots the store mid-mutation, under the mutator's
+// lock).
+func (db *Database) saveLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -175,43 +259,24 @@ func (db *Database) Save(w io.Writer) error {
 	}
 	// Deterministic output order.
 	sort.Strings(names)
-	if err := writeUvarint(bw, uint64(len(names))); err != nil {
+	if err := WriteUvarint(bw, uint64(len(names))); err != nil {
 		return err
 	}
 	for _, name := range names {
 		typ := db.typs[name]
 		rel := db.vars[name]
-		if err := writeString(bw, name); err != nil {
+		if err := WriteString(bw, name); err != nil {
 			return err
 		}
-		if err := writeString(bw, typ.Name); err != nil {
+		if err := WriteRelationType(bw, typ); err != nil {
 			return err
 		}
-		if err := writeUvarint(bw, uint64(typ.Element.Arity())); err != nil {
-			return err
-		}
-		for _, a := range typ.Element.Attrs {
-			if err := writeString(bw, a.Name); err != nil {
-				return err
-			}
-			if err := writeScalarType(bw, a.Type); err != nil {
-				return err
-			}
-		}
-		if err := writeUvarint(bw, uint64(len(typ.Key))); err != nil {
-			return err
-		}
-		for _, k := range typ.Key {
-			if err := writeString(bw, k); err != nil {
-				return err
-			}
-		}
-		if err := writeUvarint(bw, uint64(rel.Len())); err != nil {
+		if err := WriteUvarint(bw, uint64(rel.Len())); err != nil {
 			return err
 		}
 		for _, t := range rel.Tuples() {
 			for _, v := range t {
-				if err := writeValue(bw, v); err != nil {
+				if err := WriteValue(bw, v); err != nil {
 					return err
 				}
 			}
@@ -243,38 +308,14 @@ func Load(r io.Reader) (*Database, error) {
 	}
 	db := NewDatabase()
 	for i := uint64(0); i < nVars; i++ {
-		name, err := readString(br)
+		name, err := ReadString(br)
 		if err != nil {
 			return nil, err
 		}
-		typName, err := readString(br)
+		typ, err := ReadRelationType(br)
 		if err != nil {
 			return nil, err
 		}
-		arity, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		attrs := make([]schema.Attribute, arity)
-		for j := range attrs {
-			if attrs[j].Name, err = readString(br); err != nil {
-				return nil, err
-			}
-			if attrs[j].Type, err = readScalarType(br); err != nil {
-				return nil, err
-			}
-		}
-		nKey, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		key := make([]string, nKey)
-		for j := range key {
-			if key[j], err = readString(br); err != nil {
-				return nil, err
-			}
-		}
-		typ := schema.RelationType{Name: typName, Element: schema.RecordType{Attrs: attrs}, Key: key}
 		if err := db.Declare(name, typ); err != nil {
 			return nil, err
 		}
@@ -282,11 +323,12 @@ func Load(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, err
 		}
+		arity := typ.Element.Arity()
 		rel, _ := db.Get(name)
 		for j := uint64(0); j < nTuples; j++ {
 			tup := make(value.Tuple, arity)
 			for k := range tup {
-				if tup[k], err = readValue(br); err != nil {
+				if tup[k], err = ReadValue(br); err != nil {
 					return nil, err
 				}
 			}
@@ -294,7 +336,6 @@ func Load(r io.Reader) (*Database, error) {
 				return nil, err
 			}
 		}
-		_ = rel
 	}
 	return db, nil
 }

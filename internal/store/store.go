@@ -13,6 +13,7 @@ package store
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -21,6 +22,44 @@ import (
 	"repro/internal/schema"
 	"repro/internal/value"
 )
+
+// Op identifies one kind of logged mutation.
+type Op byte
+
+// The logged mutation kinds.
+const (
+	// OpDeclare introduces a variable (module DDL or programmatic Declare).
+	OpDeclare Op = 1
+	// OpAssign replaces a variable's value wholesale (assignment statements,
+	// programmatic Assign, and each variable written by a committed Tx).
+	OpAssign Op = 2
+	// OpInsert adds tuples to a variable.
+	OpInsert Op = 3
+)
+
+// Mutation is one committed state change, as handed to a Logger immediately
+// before it is published.
+type Mutation struct {
+	Op     Op
+	Name   string
+	Type   schema.RelationType // OpDeclare
+	Rel    *relation.Relation  // OpAssign: the full new value
+	Tuples []value.Tuple       // OpInsert
+}
+
+// Logger receives every committed mutation before it is published
+// (write-ahead). Append is called with the database's write lock held; state
+// serializes the pre-batch published state in Save format, so the logger can
+// cut a snapshot checkpoint at exactly the log position it is appending to.
+// An Append error aborts the mutation: nothing is published.
+//
+// Lock ordering: the store lock is always acquired before any logger-internal
+// lock (Append and Checkpoint are only ever called with db.mu held), so a
+// Logger must not call back into the Database.
+type Logger interface {
+	Append(batch []Mutation, state func(io.Writer) error) error
+	Checkpoint(state func(io.Writer) error) error
+}
 
 // Guard is a tuple predicate enforced on assignment (a selector's predicate
 // with its parameters instantiated).
@@ -62,6 +101,8 @@ type Database struct {
 	mu   sync.RWMutex
 	vars map[string]*relation.Relation
 	typs map[string]schema.RelationType
+	// logger, when set, receives every mutation before it is published.
+	logger Logger
 
 	// pathMu guards the lazily built physical access paths (section 4's
 	// "physical access path ... partitions [the relation] according to the
@@ -90,9 +131,59 @@ func (db *Database) Declare(name string, typ schema.RelationType) error {
 	if _, dup := db.vars[name]; dup {
 		return fmt.Errorf("store: variable %q already declared", name)
 	}
+	if err := db.logLocked([]Mutation{{Op: OpDeclare, Name: name, Type: typ}}); err != nil {
+		return err
+	}
 	db.vars[name] = relation.New(typ)
 	db.typs[name] = typ
 	return nil
+}
+
+// logLocked hands a batch to the attached logger (write-ahead: the caller
+// publishes only after it returns nil). Caller holds db.mu.
+func (db *Database) logLocked(batch []Mutation) error {
+	if db.logger == nil {
+		return nil
+	}
+	return db.logger.Append(batch, db.saveLocked)
+}
+
+// SetLogger attaches (nil detaches) the write-ahead logger without logging
+// anything — used right after recovery, when the log already represents the
+// database's state.
+func (db *Database) SetLogger(l Logger) {
+	db.mu.Lock()
+	db.logger = l
+	db.mu.Unlock()
+}
+
+// AdoptLogger attaches l after persisting the database's entire current
+// state as a fresh snapshot checkpoint, which supersedes whatever the log
+// held before. A durable session uses it when LoadStore swaps in a
+// replacement store; on failure nothing on disk has moved past its commit
+// point and the logger is not attached, so the session can keep the previous
+// store durable.
+func (db *Database) AdoptLogger(l Logger) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := l.Checkpoint(db.saveLocked); err != nil {
+		return err
+	}
+	db.logger = l
+	return nil
+}
+
+// Checkpoint asks the attached logger to cut a snapshot of the current state
+// and truncate the log; it is a no-op without a logger. Concurrent mutations
+// wait (they need the write lock); concurrent queries proceed against their
+// snapshots.
+func (db *Database) Checkpoint() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.logger == nil {
+		return nil
+	}
+	return db.logger.Checkpoint(db.saveLocked)
 }
 
 // Get returns the current value of a variable. The returned relation is the
@@ -181,6 +272,9 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.logLocked([]Mutation{{Op: OpAssign, Name: name, Rel: out}}); err != nil {
+		return err
+	}
 	db.dropPaths(db.vars[name])
 	db.vars[name] = out
 	return nil
@@ -205,6 +299,9 @@ func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 		if err := next.Insert(t); err != nil {
 			return err
 		}
+	}
+	if err := db.logLocked([]Mutation{{Op: OpInsert, Name: name, Tuples: tuples}}); err != nil {
+		return err
 	}
 	db.dropPaths(r)
 	db.vars[name] = next
@@ -385,14 +482,38 @@ func (tx *Tx) Insert(name string, tuples ...value.Tuple) error {
 	return nil
 }
 
-// Commit publishes the transaction's writes atomically.
+// Commit publishes the transaction's writes atomically. With a logger
+// attached, the whole write set is logged as one batch before anything is
+// published, so recovery sees either the entire transaction or none of it; a
+// log failure leaves the transaction open and the store untouched.
+//
+// Each written variable is logged at its full final value, not as a delta:
+// the overlay is a snapshot-based last-writer-wins replacement, so the full
+// value is what the commit means — a delta replayed over a concurrently
+// changed base would diverge from the published state. Callers appending
+// large volumes outside a transaction should prefer Database.Insert, whose
+// log records carry only the inserted tuples.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("store: transaction already finished")
 	}
-	tx.done = true
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
+	if len(tx.overlay) > 0 {
+		names := make([]string, 0, len(tx.overlay))
+		for n := range tx.overlay {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		batch := make([]Mutation, 0, len(names))
+		for _, n := range names {
+			batch = append(batch, Mutation{Op: OpAssign, Name: n, Rel: tx.overlay[n]})
+		}
+		if err := tx.db.logLocked(batch); err != nil {
+			return err
+		}
+	}
+	tx.done = true
 	for n, r := range tx.overlay {
 		tx.db.dropPaths(tx.db.vars[n])
 		tx.db.vars[n] = r

@@ -319,12 +319,40 @@ func (c *Checker) checkVarDecl(d *ast.VarDecl) error {
 		return errf(d.Pos, "variable declaration: %v", err)
 	}
 	for _, n := range d.Names {
-		if _, dup := c.Vars[n]; dup {
-			return errf(d.Pos, "variable %q already declared", n)
+		if prev, dup := c.Vars[n]; dup {
+			// Re-declaring at the same type is a no-op, so schema modules can
+			// be re-executed over a recovered or loaded store (whose variable
+			// types were seeded from the store, not from a module). A
+			// conflicting type stays an error.
+			if sameRelationType(prev, rt) {
+				continue
+			}
+			return errf(d.Pos, "variable %q already declared with type %s", n, prev)
 		}
 		c.Vars[n] = rt
 	}
 	return nil
+}
+
+// sameRelationType reports structural equality: same attribute names and
+// domains positionally, and the same key. Attribute names matter here —
+// CompatibleWith alone is positional, and a re-declaration that renames
+// attributes must conflict, not silently keep the old names.
+func sameRelationType(a, b schema.RelationType) bool {
+	if !a.CompatibleWith(b) || len(a.Key) != len(b.Key) {
+		return false
+	}
+	for i := range a.Element.Attrs {
+		if a.Element.Attrs[i].Name != b.Element.Attrs[i].Name {
+			return false
+		}
+	}
+	for i := range a.Key {
+		if a.Key[i] != b.Key[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Checker) checkSelectorDecl(d *ast.SelectorDecl) error {

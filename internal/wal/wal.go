@@ -1,0 +1,631 @@
+// Package wal is the durability subsystem of the DBPL store: an append-only
+// write-ahead log of committed mutations, snapshot checkpoints that compact
+// the log, and crash recovery that replays snapshot-plus-tail on open.
+//
+// Only base-relation state is logged — module DDL (variable declarations),
+// inserts, assignments, and transaction commits, each commit as one atomic
+// batch record. Derived constructor results are never logged: they recompute
+// from the base relations on recovery (the classic deductive-database split
+// between a durable extensional store and a recomputable intensional one).
+// Insert records carry just the inserted tuples; assignments and committed
+// transactions carry the written variables' full values, because their
+// semantics is wholesale last-writer-wins replacement.
+//
+// # On-disk layout
+//
+// A database directory holds at most two generations of a snapshot/log pair:
+//
+//	snap-0000000007.dbpl   store.Save image of the state at checkpoint 7
+//	wal-0000000007.log     mutations committed since that checkpoint
+//
+// Generation 1 has no snapshot (the initial state is empty). A checkpoint
+// writes snap-(g+1) to a temporary file, fsyncs, atomically renames it into
+// place, starts an empty wal-(g+1), and only then removes generation g — so
+// a crash at any point leaves at least one complete generation on disk.
+//
+// # Record format
+//
+// Each log record is one batch of mutations, framed as
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// Recovery replays records in order and stops at the first torn or corrupt
+// record (short frame or CRC mismatch), truncating the file there: exactly
+// the committed prefix survives, and a half-written transaction batch is
+// discarded whole.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+// SyncPolicy controls when the log fsyncs appended records.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs after every appended batch (the default): a commit
+	// that returns survives a machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the operating system: commits survive a
+	// process crash (the write has reached the kernel) but a machine crash
+	// may lose the most recent ones. Roughly an order of magnitude faster.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "never"
+	}
+	return "always"
+}
+
+// DefaultCheckpointEvery is the number of log records after which Append
+// cuts a snapshot checkpoint when Options.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 1024
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy for appended records.
+	Sync SyncPolicy
+	// CheckpointEvery is the log-record count that triggers an automatic
+	// snapshot checkpoint; 0 means DefaultCheckpointEvery, negative disables
+	// automatic checkpoints (explicit Checkpoint calls still work).
+	CheckpointEvery int
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// RecoveryError reports a log record that passed its checksum but could not
+// be decoded or applied: the log and the snapshot have diverged, which is
+// corruption recovery must not paper over.
+type RecoveryError struct {
+	Path   string // log file
+	Record int    // zero-based record index
+	Err    error
+}
+
+func (e *RecoveryError) Error() string {
+	return fmt.Sprintf("wal: %s: record %d: %v", e.Path, e.Record, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RecoveryError) Unwrap() error { return e.Err }
+
+// CorruptSnapshotError reports that the newest snapshot — the recovery base
+// — does not load; recovery refuses to silently restart empty or roll back
+// to an older generation.
+type CorruptSnapshotError struct {
+	Path string // the newest snapshot
+	Err  error
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("wal: snapshot %s does not load: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying load error.
+func (e *CorruptSnapshotError) Unwrap() error { return e.Err }
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeaderLen = 8
+	// maxRecordLen bounds a single record frame; anything larger is treated
+	// as a torn/corrupt tail rather than an allocation request.
+	maxRecordLen = 1 << 30
+)
+
+// Log is an open write-ahead log bound to a database directory. It
+// implements store.Logger, so attaching it to a store.Database makes every
+// mutation durable. All methods are safe for concurrent use.
+type Log struct {
+	dir   string
+	sync  SyncPolicy
+	every int
+
+	mu     sync.Mutex
+	f      *os.File
+	gen    uint64
+	n      int   // records in the current log tail
+	off    int64 // current end offset of the log file
+	closed bool
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%010d.dbpl", gen))
+}
+
+func logPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%010d.log", gen))
+}
+
+// Open recovers the database persisted in dir (creating the directory if
+// needed) and returns the log positioned for appending together with the
+// recovered store. The store is returned without a logger attached; the
+// caller attaches the log with store.Database.SetLogger once it is done
+// inspecting the recovered state.
+func Open(dir string, opts Options) (*Log, *store.Database, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	snaps, logs, err := scan(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{dir: dir, sync: opts.Sync, every: opts.CheckpointEvery}
+	if l.every == 0 {
+		l.every = DefaultCheckpointEvery
+	}
+
+	// The newest snapshot is the recovery base. If it does not load —
+	// external damage or a transient I/O error; checkpoints rename
+	// atomically, so a half-written snapshot never carries the final name —
+	// Open fails rather than silently rolling the database back to an older
+	// generation (which the cleanup below would then make permanent).
+	var db *store.Database
+	var gen uint64
+	if len(snaps) > 0 {
+		gen = snaps[len(snaps)-1]
+		d, err := loadSnapshot(snapPath(dir, gen))
+		if err != nil {
+			return nil, nil, &CorruptSnapshotError{Path: snapPath(dir, gen), Err: err}
+		}
+		db = d
+	} else {
+		// No snapshot at all: the initial generation. An existing wal-g
+		// belongs to it (no checkpoint ever completed); otherwise start at 1.
+		db = store.NewDatabase()
+		gen = 1
+		if len(logs) > 0 {
+			gen = logs[0]
+		}
+	}
+	l.gen = gen
+
+	f, err := os.OpenFile(logPath(dir, gen), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Make the directory entries (the dir itself and a freshly created log
+	// file) durable: without this, SyncAlways commits on a young database
+	// could fsync file data whose dirent a machine crash then loses.
+	syncDir(filepath.Dir(dir))
+	syncDir(dir)
+	n, off, err := replay(f, db)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate a torn tail so future appends extend the committed prefix.
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l.f, l.n, l.off = f, n, off
+
+	// Stale generations left by a crash between checkpoint and cleanup.
+	for _, g := range snaps {
+		if g != gen {
+			os.Remove(snapPath(dir, g))
+		}
+	}
+	for _, g := range logs {
+		if g != gen {
+			os.Remove(logPath(dir, g))
+		}
+	}
+	// Snapshot temp files left by a checkpoint interrupted before its
+	// rename.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "snap-*.dbpl.tmp")); len(tmps) > 0 {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+	return l, db, nil
+}
+
+// scan lists the snapshot and log generations present in dir, sorted
+// ascending.
+func scan(dir string) (snaps, logs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%d.dbpl", &g); err == nil && e.Name() == filepath.Base(snapPath(dir, g)) {
+			snaps = append(snaps, g)
+			continue
+		}
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &g); err == nil && e.Name() == filepath.Base(logPath(dir, g)) {
+			logs = append(logs, g)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	return snaps, logs, nil
+}
+
+func loadSnapshot(path string) (*store.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.Load(f)
+}
+
+// replay applies the valid record prefix of the log file to db, returning
+// the record count and the offset of the first torn/corrupt byte (the commit
+// horizon). Records that pass their checksum but fail to decode or apply
+// return a *RecoveryError.
+func replay(f *os.File, db *store.Database) (records int, goodOff int64, err error) {
+	var off int64
+	var header [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return records, off, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > maxRecordLen {
+			// A real batch payload is never empty (it starts with its
+			// mutation count), but a zero-filled tail — a crash that
+			// persisted the file-size extension before the data — parses as
+			// length=0 with a matching CRC (crc32c of nothing is 0). Both
+			// cases are the torn-tail horizon, not corruption.
+			return records, off, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, off, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return records, off, nil // corrupt payload
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return records, off, &RecoveryError{Path: f.Name(), Record: records, Err: err}
+		}
+		if err := apply(db, batch); err != nil {
+			return records, off, &RecoveryError{Path: f.Name(), Record: records, Err: err}
+		}
+		records++
+		off += frameHeaderLen + int64(length)
+	}
+}
+
+// apply replays one decoded batch against the recovering database. The
+// database has no logger attached during replay, so nothing is re-logged.
+func apply(db *store.Database, batch []store.Mutation) error {
+	for _, m := range batch {
+		switch m.Op {
+		case store.OpDeclare:
+			if err := db.Declare(m.Name, m.Type); err != nil {
+				return err
+			}
+		case store.OpAssign:
+			typ, ok := db.Type(m.Name)
+			if !ok {
+				return fmt.Errorf("assign to undeclared variable %q", m.Name)
+			}
+			rel := relation.New(typ)
+			for _, t := range m.Tuples {
+				if err := rel.Insert(t); err != nil {
+					return err
+				}
+			}
+			if err := db.Assign(m.Name, rel); err != nil {
+				return err
+			}
+		case store.OpInsert:
+			if err := db.Insert(m.Name, m.Tuples...); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown mutation op %d", m.Op)
+		}
+	}
+	return nil
+}
+
+// encodeBatch serializes one mutation batch into a record payload.
+func encodeBatch(batch []store.Mutation) ([]byte, error) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := store.WriteUvarint(w, uint64(len(batch))); err != nil {
+		return nil, err
+	}
+	for _, m := range batch {
+		if err := w.WriteByte(byte(m.Op)); err != nil {
+			return nil, err
+		}
+		switch m.Op {
+		case store.OpDeclare:
+			if err := store.WriteString(w, m.Name); err != nil {
+				return nil, err
+			}
+			if err := store.WriteRelationType(w, m.Type); err != nil {
+				return nil, err
+			}
+		case store.OpAssign, store.OpInsert:
+			if err := store.WriteString(w, m.Name); err != nil {
+				return nil, err
+			}
+			tuples := m.Tuples
+			if m.Op == store.OpAssign {
+				tuples = m.Rel.Tuples()
+			}
+			arity := 0
+			if len(tuples) > 0 {
+				arity = len(tuples[0])
+			}
+			if err := store.WriteUvarint(w, uint64(arity)); err != nil {
+				return nil, err
+			}
+			if err := store.WriteUvarint(w, uint64(len(tuples))); err != nil {
+				return nil, err
+			}
+			for _, t := range tuples {
+				for _, v := range t {
+					if err := store.WriteValue(w, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("wal: cannot encode mutation op %d", m.Op)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBatch parses a record payload. Assign batches come back with Tuples
+// populated (apply rebuilds the relation against the declared type).
+func decodeBatch(payload []byte) ([]store.Mutation, error) {
+	r := bufio.NewReader(bytes.NewReader(payload))
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRecordLen {
+		return nil, fmt.Errorf("corrupt batch count %d", count)
+	}
+	batch := make([]store.Mutation, 0, count)
+	for i := uint64(0); i < count; i++ {
+		op, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		m := store.Mutation{Op: store.Op(op)}
+		switch m.Op {
+		case store.OpDeclare:
+			if m.Name, err = store.ReadString(r); err != nil {
+				return nil, err
+			}
+			if m.Type, err = store.ReadRelationType(r); err != nil {
+				return nil, err
+			}
+		case store.OpAssign, store.OpInsert:
+			if m.Name, err = store.ReadString(r); err != nil {
+				return nil, err
+			}
+			arity, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			n, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if arity > 1<<20 || n > maxRecordLen {
+				return nil, fmt.Errorf("corrupt tuple block %d x %d", n, arity)
+			}
+			m.Tuples = make([]value.Tuple, n)
+			for j := range m.Tuples {
+				tup := make(value.Tuple, arity)
+				for k := range tup {
+					if tup[k], err = store.ReadValue(r); err != nil {
+						return nil, err
+					}
+				}
+				m.Tuples[j] = tup
+			}
+		default:
+			return nil, fmt.Errorf("unknown mutation op %d", op)
+		}
+		batch = append(batch, m)
+	}
+	return batch, nil
+}
+
+// Append implements store.Logger: it durably appends one mutation batch as a
+// single record, cutting a snapshot checkpoint first when the log has grown
+// past the configured threshold. It is called with the store's write lock
+// held and the pre-batch state closure, so the snapshot lands at exactly the
+// log position being appended to.
+func (l *Log) Append(batch []store.Mutation, state func(io.Writer) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.every > 0 && l.n >= l.every {
+		if err := l.rotateLocked(state); err != nil {
+			return err
+		}
+	}
+	payload, err := encodeBatch(batch)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordLen {
+		// Refuse a frame replay would misread as a torn tail (and that
+		// would overflow the uint32 length at 4GiB): the commit fails
+		// cleanly instead of reporting success and vanishing on recovery.
+		return fmt.Errorf("wal: batch of %d bytes exceeds the %d-byte record limit", len(payload), maxRecordLen)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		// Roll back a partial frame so later appends extend a clean prefix.
+		l.f.Truncate(l.off)
+		l.f.Seek(l.off, io.SeekStart)
+		return err
+	}
+	if l.sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			// The record reached the file but not stable storage, and the
+			// caller will abort the mutation — drop it so a later recovery
+			// cannot resurrect a commit that was reported as failed.
+			l.f.Truncate(l.off)
+			l.f.Seek(l.off, io.SeekStart)
+			return err
+		}
+	}
+	l.n++
+	l.off += int64(len(frame))
+	return nil
+}
+
+// Checkpoint implements store.Logger: it writes a snapshot of the current
+// state and truncates the log. Callers go through store.Database.Checkpoint,
+// which supplies the state closure under the store lock.
+func (l *Log) Checkpoint(state func(io.Writer) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.rotateLocked(state)
+}
+
+// rotateLocked cuts generation gen+1: snapshot (write temp, fsync, rename),
+// fresh empty log, then removal of generation gen. A crash anywhere leaves a
+// recoverable directory: the rename is the commit point, and until the old
+// generation is removed both are complete.
+func (l *Log) rotateLocked(state func(io.Writer) error) error {
+	next := l.gen + 1
+	snap := snapPath(l.dir, next)
+	tmp := snap + ".tmp"
+	sf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := state(sf); err != nil {
+		sf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := sf.Sync(); err != nil {
+		sf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The next generation's log is created BEFORE the snapshot rename, so
+	// the rename stays the single commit point: on any failure up to it the
+	// directory still holds only generation gen (a stray empty wal-(gen+1)
+	// without its snapshot is removed by the next Open), and after it the
+	// new generation is complete.
+	nf, err := os.OpenFile(logPath(l.dir, next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snap); err != nil {
+		nf.Close()
+		os.Remove(logPath(l.dir, next))
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(l.dir)
+	old := l.gen
+	l.f.Close()
+	l.f, l.gen, l.n, l.off = nf, next, 0, 0
+	os.Remove(logPath(l.dir, old))
+	os.Remove(snapPath(l.dir, old))
+	return nil
+}
+
+// syncDir fsyncs the directory so renames and creates are durable;
+// best-effort (not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Sync forces the log file to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dir returns the database directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Generation returns the current checkpoint generation (for tests and
+// monitoring).
+func (l *Log) Generation() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// TailRecords returns the number of records in the current log tail (for
+// tests and monitoring).
+func (l *Log) TailRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

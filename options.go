@@ -1,6 +1,24 @@
 package dbpl
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/wal"
+)
+
+// SyncPolicy controls when a durable database (Open with WithPath) fsyncs
+// its write-ahead log.
+type SyncPolicy = wal.SyncPolicy
+
+// Sync policies for WithSync.
+const (
+	// SyncAlways fsyncs the log after every committed mutation (default for
+	// durable databases): a commit that returns survives a machine crash.
+	SyncAlways = wal.SyncAlways
+	// SyncNever leaves flushing to the operating system: commits survive a
+	// process crash but a machine crash may lose the most recent ones.
+	SyncNever = wal.SyncNever
+)
 
 // config collects the Open-time settings.
 type config struct {
@@ -15,6 +33,11 @@ type config struct {
 	// noOptimize disables the pass pipeline and physical access paths: every
 	// query evaluates its parsed form directly and every selector scans.
 	noOptimize bool
+	// path, when non-empty, makes the database durable: state is recovered
+	// from the directory on Open and every mutation is write-ahead logged.
+	path            string
+	syncPolicy      SyncPolicy
+	checkpointEvery int
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
@@ -62,6 +85,38 @@ func WithPlanCacheSize(n int) Option {
 // reader, as if LoadStore were called right after Open.
 func WithStoreReader(r io.Reader) Option {
 	return func(c *config) { c.storeReader = r }
+}
+
+// WithPath makes the database durable, backed by the given directory
+// (created if absent). Open recovers the base relations persisted there —
+// the latest snapshot checkpoint plus the committed tail of the write-ahead
+// log — and every subsequent state-changing operation (module DDL, Insert,
+// Assign, LoadStore, and each Tx commit as one atomic batch) is logged
+// before it is published. Derived constructor results are never logged; they
+// recompute from the base relations.
+//
+// Declarations other than relation variables (types, selectors,
+// constructors) live in modules, not in the store: re-execute the schema
+// modules after reopening. Re-declaring a recovered variable at the same
+// type is a no-op, so the original module (minus its seed statements) can be
+// re-run as-is.
+func WithPath(dir string) Option {
+	return func(c *config) { c.path = dir }
+}
+
+// WithSync selects the fsync policy of a durable database's write-ahead log;
+// it has no effect without WithPath. The default is SyncAlways.
+func WithSync(p SyncPolicy) Option {
+	return func(c *config) { c.syncPolicy = p }
+}
+
+// WithCheckpointEvery sets the number of log records after which a durable
+// database automatically cuts a snapshot checkpoint and truncates the log
+// (default wal.DefaultCheckpointEvery); negative disables automatic
+// checkpoints, leaving compaction to explicit Checkpoint calls. It has no
+// effect without WithPath.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) { c.checkpointEvery = n }
 }
 
 // WithOptimizer selects the optimizer pass pipeline by name, in order. Pass

@@ -1,6 +1,7 @@
 package dbpl
 
 import (
+	"context"
 	"fmt"
 	"iter"
 
@@ -9,31 +10,35 @@ import (
 )
 
 // Rows is a cursor over a query result, modeled on database/sql: call Next
-// until it returns false, Scan inside the loop, and Close when done (Close
-// is idempotent and implied by exhausting the cursor). Tuples are yielded in
-// unspecified order; use Relation().Tuples() when deterministic order is
-// needed.
+// until it returns false, Scan inside the loop, check Err after it, and
+// Close when done (Close is idempotent and implied by exhausting the
+// cursor). Tuples are yielded in unspecified order; use Relation().Tuples()
+// when deterministic order is needed.
 //
 // A Rows is bound to the snapshot its query evaluated against; later writes
 // to the database do not affect it. It is not safe for concurrent use by
 // multiple goroutines.
 type Rows struct {
 	rel    *relation.Relation
+	ctx    context.Context
 	cols   []string
 	next   func() (value.Tuple, bool)
 	stop   func()
 	cur    value.Tuple
+	err    error
 	closed bool
 }
 
-func newRows(rel *relation.Relation) *Rows {
+// newRows wraps an already evaluated result relation. ctx is the query's
+// context; iteration stops (and Err reports the cause) once it is canceled.
+func newRows(ctx context.Context, rel *relation.Relation) *Rows {
 	next, stop := iter.Pull(rel.All())
 	elem := rel.Type().Element
 	cols := make([]string, len(elem.Attrs))
 	for i, a := range elem.Attrs {
 		cols[i] = a.Name
 	}
-	return &Rows{rel: rel, cols: cols, next: next, stop: stop}
+	return &Rows{rel: rel, ctx: ctx, cols: cols, next: next, stop: stop}
 }
 
 // Columns returns the attribute names of the result relation.
@@ -46,10 +51,19 @@ func (r *Rows) Len() int { return r.rel.Len() }
 // Relation returns the underlying result relation.
 func (r *Rows) Relation() *Relation { return r.rel }
 
-// Next advances to the next tuple, reporting whether one is available.
+// Next advances to the next tuple, reporting whether one is available. It
+// returns false once the cursor is exhausted, closed, canceled, or a Scan
+// has failed; Err distinguishes exhaustion from failure.
 func (r *Rows) Next() bool {
-	if r.closed {
+	if r.closed || r.err != nil {
 		return false
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.setErr(err)
+			r.Close()
+			return false
+		}
 	}
 	t, ok := r.next()
 	if !ok {
@@ -63,9 +77,29 @@ func (r *Rows) Next() bool {
 // Tuple returns the current tuple (valid after a true Next).
 func (r *Rows) Tuple() Tuple { return r.cur }
 
+// setErr records the first error encountered; later ones do not overwrite
+// it.
+func (r *Rows) setErr(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
 // Scan copies the current tuple's values into dest, which must hold one
-// pointer per attribute: *string, *int, *int64, *bool, *Value, or *any.
+// pointer per attribute: *string, *int, *int64, *bool, *Value, or *any. A
+// *any destination receives the Go-native form of the scalar — string,
+// int64, or bool (the DBPL value domain is scalar) — never an internal
+// value type. Scan errors are returned and also sticky: they stop the
+// iteration and surface from Err after the loop.
 func (r *Rows) Scan(dest ...any) error {
+	if err := r.scan(dest); err != nil {
+		r.setErr(err)
+		return err
+	}
+	return nil
+}
+
+func (r *Rows) scan(dest []any) error {
 	if r.cur == nil {
 		return fmt.Errorf("dbpl: Scan called without a successful Next")
 	}
@@ -86,7 +120,7 @@ func (r *Rows) Scan(dest ...any) error {
 			case value.KindBool:
 				*p = v.AsBool()
 			default:
-				*p = v
+				return fmt.Errorf("dbpl: Scan column %q: cannot scan %s value into *any", r.cols[i], v.Kind())
 			}
 		case *string:
 			if v.Kind() != value.KindString {
@@ -115,12 +149,15 @@ func (r *Rows) Scan(dest ...any) error {
 	return nil
 }
 
-// Err returns the error, if any, encountered during iteration. It exists
-// for database/sql-style loops; the current implementation evaluates the
-// query before the first Next, so Err is always nil.
-func (r *Rows) Err() error { return nil }
+// Err returns the first error encountered during iteration: the query
+// context's cancellation cause, or a sticky Scan failure. It is nil after a
+// loop that simply exhausted the cursor. (The result set itself is
+// materialized before the first Next — query evaluation errors surface from
+// the Query call, not here.)
+func (r *Rows) Err() error { return r.err }
 
-// Close releases the cursor. It is idempotent and safe after exhaustion.
+// Close releases the cursor. It is idempotent, safe after exhaustion, and
+// preserves Err.
 func (r *Rows) Close() error {
 	if !r.closed {
 		r.closed = true

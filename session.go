@@ -17,6 +17,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/typecheck"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 // DB is a DBPL database: relation variables plus the accumulated type,
@@ -65,6 +66,12 @@ type DB struct {
 
 	plans *planCache
 
+	// wal is the write-ahead log of a durable database (Open with WithPath);
+	// nil for a memory-only one. It is attached to the store as its logger,
+	// so every mutation path — module DDL, Insert, Assign, LoadStore, Tx
+	// commits — logs through it before publishing.
+	wal *wal.Log
+
 	// passes is the optimizer pass pipeline run at Prepare time; nil when the
 	// pipeline is empty. noOptimize additionally disables physical access
 	// paths, so every selector application scans. Both are fixed at Open and
@@ -73,9 +80,13 @@ type DB struct {
 	noOptimize bool
 }
 
-// Open returns an empty database configured by the given options; with no
-// options it matches New: strict positivity checking, semi-naive fixpoints,
-// and a 128-entry plan cache.
+// Open returns a database configured by the given options; with no options
+// it matches New: memory-only, strict positivity checking, semi-naive
+// fixpoints, and a 128-entry plan cache. With WithPath it is durable: the
+// base relations persisted in the directory are recovered (snapshot plus
+// committed write-ahead-log tail) and every later mutation is logged before
+// it is published. Derived constructor results are not persisted — re-execute
+// the schema modules after reopening and they recompute.
 func Open(opts ...Option) (*DB, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -92,6 +103,34 @@ func Open(opts ...Option) (*DB, error) {
 		plans:      newPlanCache(cfg.planCacheSize),
 		noOptimize: cfg.noOptimize,
 	}
+	if cfg.path != "" {
+		wlog, st, err := wal.Open(cfg.path, wal.Options{
+			Sync:            cfg.syncPolicy,
+			CheckpointEvery: cfg.checkpointEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dbpl: opening durable store at %s: %w", cfg.path, err)
+		}
+		d.Store = st
+		d.wal = wlog
+		// Recovered base relations type-check in queries without re-running
+		// the declaring modules.
+		for _, name := range st.Names() {
+			if t, ok := st.Type(name); ok {
+				d.Checker.Vars[name] = t
+			}
+		}
+		st.SetLogger(wlog)
+	}
+	// Failures past this point must release the opened write-ahead log; a
+	// caller retrying Open (bad option, unreadable store image) must not
+	// leak a file handle per attempt.
+	fail := func(err error) (*DB, error) {
+		if d.wal != nil {
+			d.wal.Close()
+		}
+		return nil, err
+	}
 	if !cfg.noOptimize {
 		names := cfg.passNames
 		if names == nil {
@@ -100,8 +139,8 @@ func Open(opts ...Option) (*DB, error) {
 		for _, n := range names {
 			p, ok := optimizer.NewPass(n)
 			if !ok {
-				return nil, fmt.Errorf("dbpl: unknown optimizer pass %q (registered: %v)",
-					n, optimizer.PassNames())
+				return fail(fmt.Errorf("dbpl: unknown optimizer pass %q (registered: %v)",
+					n, optimizer.PassNames()))
 			}
 			d.passes = append(d.passes, p)
 		}
@@ -115,7 +154,7 @@ func Open(opts ...Option) (*DB, error) {
 	d.rebuildDecls()
 	if cfg.storeReader != nil {
 		if err := d.LoadStore(cfg.storeReader); err != nil {
-			return nil, fmt.Errorf("dbpl: loading initial store: %w", err)
+			return fail(fmt.Errorf("dbpl: loading initial store: %w", err))
 		}
 	}
 	return d, nil
@@ -139,20 +178,52 @@ func (d *DB) SetMode(m Mode) {
 }
 
 // LastStats reports the most recent constructor evaluation (by any Exec,
-// Query, or Apply on this DB).
+// Query, or Apply on this DB). Calls that evaluate no constructor leave it
+// untouched.
 func (d *DB) LastStats() Stats {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
 	return d.lastStats
 }
 
+// recordStats publishes a per-call engine's stats. Whether anything was
+// evaluated is decided by the engine's apply counter, never by comparing
+// LastStats against the zero value — an evaluation can legitimately produce
+// zero-valued stats fields, and it must still replace the previous query's.
 func (d *DB) recordStats(en *core.Engine) {
-	if en.LastStats == (Stats{}) {
-		return
+	d.recordStatsSince(en, 0)
+}
+
+// recordStatsSince is recordStats for engines that persist across calls (the
+// shared exec-path engine): the caller samples Applies before the call and
+// stats are recorded only if evaluations happened since.
+func (d *DB) recordStatsSince(en *core.Engine, before uint64) {
+	if en.Applies == before {
+		return // no constructor evaluated: keep the previous stats
 	}
 	d.statsMu.Lock()
 	d.lastStats = en.LastStats
 	d.statsMu.Unlock()
+}
+
+// Checkpoint forces a snapshot checkpoint of a durable database: the current
+// state is written to a new snapshot and the write-ahead log is truncated.
+// It is a no-op for a memory-only database. Concurrent queries proceed
+// against their snapshots; writers wait for the checkpoint.
+func (d *DB) Checkpoint() error {
+	return d.store().Checkpoint()
+}
+
+// Close syncs and closes a durable database's write-ahead log; mutations
+// after Close fail with ErrClosed, while queries keep answering from the
+// in-memory state. It is a no-op (and returns nil) for a memory-only
+// database. Close does not cut a checkpoint; the log tail replays on the
+// next Open.
+func (d *DB) Close() error {
+	if d.wal == nil {
+		return nil
+	}
+	return d.wal.Close()
 }
 
 // ExecToContext compiles and runs a DBPL module with streaming SHOW output
@@ -198,9 +269,10 @@ func (d *DB) ExecToContext(ctx context.Context, out io.Writer, src string) error
 
 	// Statements run outside the declaration lock: writes go through the
 	// store's own synchronization, so queries proceed in parallel.
+	applies := d.Engine.Applies
 	defer func() {
 		d.env.Ctx = nil
-		d.recordStats(d.Engine)
+		d.recordStatsSince(d.Engine, applies)
 	}()
 	return wrapErr(rt.Run())
 }
@@ -367,6 +439,20 @@ func (d *DB) LoadStore(r io.Reader) error {
 	defer d.execMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.wal != nil {
+		// Detach the old store first: an in-flight mutation on it finishes
+		// logging (it holds the old store's lock) before the detach returns,
+		// so its record lands before the replacement checkpoint and is
+		// superseded by it. AdoptLogger then persists the new store's full
+		// state as a snapshot checkpoint; on failure the old generation is
+		// still the commit point, so reattaching keeps the old store
+		// durable and consistent.
+		d.Store.SetLogger(nil)
+		if err := db.AdoptLogger(d.wal); err != nil {
+			d.Store.SetLogger(d.wal)
+			return fmt.Errorf("dbpl: persisting replacement store: %w", err)
+		}
+	}
 	d.Store = db
 	// Drop the exec-path relation bindings of the previous store so stale
 	// relations do not keep resolving after the swap; the next statement

@@ -178,7 +178,7 @@ func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newRows(rel), nil
+	return newRows(ctx, rel), nil
 }
 
 // execStats collects per-execution counters for EXPLAIN ANALYZE.
@@ -229,7 +229,7 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 		return nil, wrapErr(err)
 	}
 	s.db.recordStats(en)
-	if ex != nil && en.LastStats != (core.Stats{}) {
+	if ex != nil && en.Applies > 0 {
 		ex.engine = en.LastStats
 	}
 	return rel, nil

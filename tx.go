@@ -180,7 +180,7 @@ func (t *Tx) QueryRows(ctx context.Context, src string, args ...any) (*Rows, err
 	if err != nil {
 		return nil, err
 	}
-	return newRows(rel), nil
+	return newRows(ctx, rel), nil
 }
 
 // Relation returns a variable's value as seen by the transaction.
@@ -269,8 +269,14 @@ func (t *Tx) Commit() error {
 			}
 		}
 	}
+	// The store commit write-ahead logs the batch (on a durable DB) before
+	// publishing; a log failure leaves both the store and this transaction
+	// open, so the caller can retry Commit or Rollback.
+	if err := t.tx.Commit(); err != nil {
+		return wrapErr(err)
+	}
 	t.done = true
-	return wrapErr(t.tx.Commit())
+	return nil
 }
 
 // Rollback discards the transaction's writes.
