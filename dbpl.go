@@ -237,7 +237,7 @@ func (d *DB) Apply(constructor string, base *Relation, args ...any) (*Relation, 
 // Declare introduces a relation variable programmatically.
 func (d *DB) Declare(name string, typ RelationType) error {
 	if err := d.store().Declare(name, typ); err != nil {
-		return err
+		return wrapErr(d.noteMutErr(err))
 	}
 	d.mu.Lock()
 	d.Checker.Vars[name] = typ
@@ -251,7 +251,7 @@ func (d *DB) Declare(name string, typ RelationType) error {
 // published relation is replaced copy-on-write, so batch the tuples into one
 // call where possible: n single-tuple calls copy the relation n times.
 func (d *DB) Insert(name string, tuples ...Tuple) error {
-	return wrapErr(d.store().Insert(name, tuples...))
+	return wrapErr(d.noteMutErr(d.store().Insert(name, tuples...)))
 }
 
 // Relation returns the current value of a relation variable. The returned
@@ -260,7 +260,7 @@ func (d *DB) Relation(name string) (*Relation, bool) { return d.store().Get(name
 
 // Assign replaces a relation variable's value (key-checked).
 func (d *DB) Assign(name string, rel *Relation) error {
-	return wrapErr(d.store().Assign(name, rel))
+	return wrapErr(d.noteMutErr(d.store().Assign(name, rel)))
 }
 
 // Save writes the database's relation variables to w (binary format).

@@ -2,6 +2,7 @@ package dbpl
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/fixpoint"
 	"repro/internal/lexer"
@@ -60,6 +61,37 @@ type (
 	// roll back to an older generation.
 	CorruptSnapshotError = wal.CorruptSnapshotError
 )
+
+// ErrReadOnly is the sentinel every degraded-mode write failure matches:
+// errors.Is(err, ErrReadOnly) is true exactly when the database refuses
+// writes but keeps serving reads. It is never returned directly; failures
+// carry a *DegradedError wrapping the I/O fault that caused the degradation.
+var ErrReadOnly = errors.New("dbpl: database is read-only")
+
+// DegradedError reports a write refused because the database has degraded to
+// read-only mode: an unrecoverable I/O failure (failed WAL append or fsync,
+// disk full, un-durable checkpoint rename) poisoned the write-ahead log.
+// Reads and queries keep serving the last published state; recovery is to
+// Close and re-Open, which replays exactly the committed prefix.
+//
+// DegradedError matches errors.Is(err, ErrReadOnly), and Unwrap exposes the
+// poisoning I/O failure (so errors.Is(err, syscall.ENOSPC) etc. also work).
+type DegradedError struct {
+	// Cause is the I/O failure that degraded the database.
+	Cause error
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("dbpl: database degraded to read-only: %v", e.Cause)
+}
+
+// Unwrap exposes the poisoning I/O failure.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Is reports ErrReadOnly as a match, making errors.Is(err, ErrReadOnly) the
+// portable degraded-mode test.
+func (e *DegradedError) Is(target error) bool { return target == ErrReadOnly }
 
 // ErrStmtClosed is returned by Stmt methods after Close.
 var ErrStmtClosed = errors.New("dbpl: statement closed")

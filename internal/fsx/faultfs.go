@@ -1,0 +1,300 @@
+package fsx
+
+import (
+	"os"
+	"sync"
+)
+
+// OpKind classifies one filesystem operation — the unit of fault injection.
+type OpKind int
+
+// The operation kinds FaultFS counts and can fault.
+const (
+	OpOpen OpKind = iota
+	OpMkdir
+	OpRename
+	OpRemove
+	OpReadDir
+	OpSyncDir
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	OpClose
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpMkdir: "mkdir", OpRename: "rename", OpRemove: "remove",
+	OpReadDir: "readdir", OpSyncDir: "syncdir", OpRead: "read", OpWrite: "write",
+	OpSync: "sync", OpTruncate: "truncate", OpClose: "close",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return "unknown"
+}
+
+// Op is one recorded filesystem operation.
+type Op struct {
+	Kind OpKind
+	Path string
+}
+
+func (o Op) String() string { return o.Kind.String() + " " + o.Path }
+
+// Fault scripts one injected failure, addressed by the global operation index
+// a fault-free run of the same workload recorded (deterministic workloads hit
+// the same index every run).
+type Fault struct {
+	// Index is the zero-based operation index at which the fault triggers.
+	Index int
+	// Err is the error the faulted operation returns; ErrInjected when nil
+	// (ErrCrashed when Crash is set).
+	Err error
+	// Short, on a write, lets the first Short bytes through before failing —
+	// a torn write (ENOSPC mid-frame, a crash mid-sector).
+	Short int
+	// Crash turns the fault into a full stop: the faulted operation fails
+	// with ErrCrashed (after any Short partial effect) and so does every
+	// operation after it. The underlying MemFS then holds the moment-of-crash
+	// state: CrashImage for what stable storage kept, Image for what the page
+	// cache held.
+	Crash bool
+}
+
+func (f Fault) error() error {
+	if f.Crash {
+		return ErrCrashed
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// FaultFS wraps an FS, counting every operation and injecting scripted
+// faults. A fault-free pass over a deterministic workload yields (via Ops)
+// the complete list of fault points; re-running the workload on a fresh
+// FaultFS with a Fault at index k deterministically fails the k-th operation.
+//
+// FaultFS is safe for concurrent use (operations are counted under a lock, so
+// concurrent workloads are countable but not index-deterministic; the crash
+// harness drives single-threaded workloads).
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	n       int
+	ops     []Op
+	faults  map[int]Fault
+	crashed bool
+}
+
+// NewFaultFS wraps inner with fault injection (none scripted yet).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, faults: make(map[int]Fault)}
+}
+
+// Inject scripts faults by operation index. Later calls add to the script.
+func (f *FaultFS) Inject(faults ...Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ft := range faults {
+		f.faults[ft.Index] = ft
+	}
+}
+
+// Ops returns the operations recorded so far, in order.
+func (f *FaultFS) Ops() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Op, len(f.ops))
+	copy(out, f.ops)
+	return out
+}
+
+// OpCount returns the number of operations recorded so far.
+func (f *FaultFS) OpCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Crashed reports whether a Crash fault has triggered.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step records one operation and returns its scripted fault, if any. After a
+// crash every operation fails immediately with ErrCrashed (and is no longer
+// recorded: the machine is down).
+func (f *FaultFS) step(kind OpKind, path string) (Fault, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return Fault{}, false, ErrCrashed
+	}
+	idx := f.n
+	f.n++
+	f.ops = append(f.ops, Op{Kind: kind, Path: path})
+	ft, ok := f.faults[idx]
+	if ok && ft.Crash {
+		f.crashed = true
+	}
+	return ft, ok, nil
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	ft, active, err := f.step(OpOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if active {
+		return nil, ft.error()
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: inner, name: name}, nil
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	ft, active, err := f.step(OpMkdir, path)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	ft, active, err := f.step(OpRename, oldname)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	ft, active, err := f.step(OpRemove, name)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	ft, active, err := f.step(OpReadDir, dir)
+	if err != nil {
+		return nil, err
+	}
+	if active {
+		return nil, ft.error()
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	ft, active, err := f.step(OpSyncDir, dir)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps a File, routing each operation through the parent's fault
+// script.
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	name string
+}
+
+func (h *faultFile) Name() string { return h.name }
+
+func (h *faultFile) Read(p []byte) (int, error) {
+	ft, active, err := h.fs.step(OpRead, h.name)
+	if err != nil {
+		return 0, err
+	}
+	if active {
+		return 0, ft.error()
+	}
+	return h.f.Read(p)
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	ft, active, err := h.fs.step(OpWrite, h.name)
+	if err != nil {
+		return 0, err
+	}
+	if active {
+		n := 0
+		if ft.Short > 0 && ft.Short < len(p) {
+			// The torn prefix reaches the page cache before the failure.
+			n, _ = h.f.Write(p[:ft.Short])
+		}
+		return n, ft.error()
+	}
+	return h.f.Write(p)
+}
+
+func (h *faultFile) Seek(offset int64, whence int) (int64, error) {
+	// Seeking moves no data; it is not a fault point.
+	return h.f.Seek(offset, whence)
+}
+
+func (h *faultFile) Sync() error {
+	ft, active, err := h.fs.step(OpSync, h.name)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return h.f.Sync()
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	ft, active, err := h.fs.step(OpTruncate, h.name)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return h.f.Truncate(size)
+}
+
+func (h *faultFile) Close() error {
+	ft, active, err := h.fs.step(OpClose, h.name)
+	if err != nil {
+		return err
+	}
+	if active {
+		return ft.error()
+	}
+	return h.f.Close()
+}

@@ -1,0 +1,111 @@
+// Package fsx abstracts the filesystem operations the durability stack
+// performs, so the write-ahead log and checkpoint machinery can run over the
+// real filesystem in production (OsFS) and over scriptable fault-injecting
+// filesystems in tests (MemFS wrapped in FaultFS).
+//
+// The interface is deliberately small: exactly the operations the WAL needs —
+// open/create, rename, remove, directory listing, plus per-file write, read,
+// seek, sync, and truncate — and, crucially, SyncDir, the directory fsync
+// that makes creates and renames durable. Modeling SyncDir explicitly is what
+// lets the in-memory implementation simulate the difference between "the
+// rename happened" and "the rename survives a crash".
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// File is an open file handle. *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with (for error messages).
+	Name() string
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface of the durability stack.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics for the flags the WAL
+	// uses (O_RDONLY, O_RDWR, O_CREATE, O_TRUNC).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the entry names of a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs a directory, making creates, removes, and renames of its
+	// entries durable.
+	SyncDir(dir string) error
+}
+
+// ErrCrashed is returned by every operation on a FaultFS after a simulated
+// crash has triggered: the "machine" is down, nothing further reaches disk.
+var ErrCrashed = errors.New("fsx: simulated crash")
+
+// ErrInjected is the default error attached to injected faults that do not
+// specify one.
+var ErrInjected = errors.New("fsx: injected I/O error")
+
+// OsFS is the passthrough implementation over the real filesystem.
+type OsFS struct{}
+
+// OpenFile implements FS.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MkdirAll implements FS.
+func (OsFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+// Rename implements FS.
+func (OsFS) Rename(oldname, newname string) error {
+	return os.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error {
+	return os.Remove(name)
+}
+
+// ReadDir implements FS.
+func (OsFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// SyncDir implements FS by opening the directory and fsyncing it.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,275 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, b []byte) {
+	t.Helper()
+	if _, err := f.Write(b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return b
+}
+
+// TestFaultMemFSDurabilityModel pins the core crash semantics: unsynced file
+// data is lost, synced data survives, and namespace operations survive only
+// after SyncDir.
+func TestFaultMemFSDurabilityModel(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/db", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("/db/a", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("synced"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte(" and not"))
+
+	// A second file created but never dir-synced.
+	g, err := m.OpenFile("/db/b", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, g, []byte("volatile"))
+	if err := g.Sync(); err != nil { // file-synced but dirent is not
+		t.Fatal(err)
+	}
+
+	crash := m.CrashImage()
+	if got := readAll(t, crash, "/db/a"); string(got) != "synced" {
+		t.Fatalf("crash image of a = %q, want %q", got, "synced")
+	}
+	if crash.Exists("/db/b") {
+		t.Fatalf("crash image holds /db/b, whose dirent was never dir-synced")
+	}
+
+	full := m.Image()
+	if got := readAll(t, full, "/db/a"); string(got) != "synced and not" {
+		t.Fatalf("volatile image of a = %q, want %q", got, "synced and not")
+	}
+	if got := readAll(t, full, "/db/b"); string(got) != "volatile" {
+		t.Fatalf("volatile image of b = %q, want %q", got, "volatile")
+	}
+}
+
+// TestFaultMemFSRenameDurability pins the rename model: a rename not followed
+// by SyncDir reverts on crash, one followed by SyncDir sticks.
+func TestFaultMemFSRenameDurability(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/db", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("/db/x.tmp", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("payload"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("/db/x.tmp", "/db/x"); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := m.CrashImage()
+	if crash.Exists("/db/x") || !crash.Exists("/db/x.tmp") {
+		t.Fatalf("un-dir-synced rename must revert on crash: paths=%v", crash.Paths())
+	}
+
+	if err := m.SyncDir("/db"); err != nil {
+		t.Fatal(err)
+	}
+	crash = m.CrashImage()
+	if !crash.Exists("/db/x") || crash.Exists("/db/x.tmp") {
+		t.Fatalf("dir-synced rename must survive crash: paths=%v", crash.Paths())
+	}
+	if got := readAll(t, crash, "/db/x"); string(got) != "payload" {
+		t.Fatalf("renamed file content = %q, want %q", got, "payload")
+	}
+}
+
+// TestFaultFSInjectsByIndex verifies fault addressing: the exact Nth
+// operation fails with the scripted error, earlier and later ones pass.
+func TestFaultFSInjectsByIndex(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	if err := ffs.MkdirAll("/db", 0o777); err != nil { // op 0
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile("/db/a", os.O_RDWR|os.O_CREATE, 0o666) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(Fault{Index: 3, Err: syscall.ENOSPC})
+	if _, err := f.Write([]byte("one")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.ENOSPC) { // op 3
+		t.Fatalf("op 3 error = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil { // op 4
+		t.Fatal(err)
+	}
+	ops := ffs.Ops()
+	if len(ops) != 5 || ops[3].Kind != OpWrite {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+// TestFaultFSShortWrite verifies torn writes: the scripted prefix lands, the
+// rest does not, and the op still fails.
+func TestFaultFSShortWrite(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	if err := ffs.MkdirAll("/db", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile("/db/a", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(Fault{Index: 2, Short: 4, Err: syscall.ENOSPC})
+	n, err := f.Write([]byte("12345678"))
+	if n != 4 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write = (%d, %v), want (4, ENOSPC)", n, err)
+	}
+	if got := readAll(t, mem, "/db/a"); string(got) != "1234" {
+		t.Fatalf("file after short write = %q, want %q", got, "1234")
+	}
+}
+
+// TestFaultFSCrashStopsEverything verifies the crash latch: the faulted op
+// and all later ones fail with ErrCrashed and nothing further reaches the
+// inner filesystem.
+func TestFaultFSCrashStopsEverything(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	if err := ffs.MkdirAll("/db", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.OpenFile("/db/a", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Inject(Fault{Index: 2, Crash: true})
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed write error = %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() = false after crash fault")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync error = %v", err)
+	}
+	if _, err := ffs.OpenFile("/db/b", os.O_CREATE|os.O_RDWR, 0o666); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open error = %v", err)
+	}
+	if mem.Exists("/db/b") {
+		t.Fatal("post-crash open reached the inner filesystem")
+	}
+	if got := readAll(t, mem, "/db/a"); len(got) != 0 {
+		t.Fatalf("crashed write reached the inner filesystem: %q", got)
+	}
+}
+
+// TestFaultOsFSRoundTrip smoke-tests the passthrough implementation against
+// a real temp dir: create, write, sync, dir-sync, rename, list, reopen.
+func TestFaultOsFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OsFS{}
+	sub := filepath.Join(dir, "db")
+	if err := fs.MkdirAll(sub, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(filepath.Join(sub, "a.tmp"), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(sub, "a.tmp"), filepath.Join(sub, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("ReadDir = %v, want [a]", names)
+	}
+	if got := readAll(t, fs, filepath.Join(sub, "a")); string(got) != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := fs.Remove(filepath.Join(sub, "a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultMemFSTruncateAndSeek covers the handle operations recovery uses:
+// truncating a torn tail and seeking back to the append position.
+func TestFaultMemFSTruncateAndSeek(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/db", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("/db/wal", os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := f.Seek(4, io.SeekStart); err != nil || pos != 4 {
+		t.Fatalf("seek = (%d, %v)", pos, err)
+	}
+	writeAll(t, f, []byte("AB"))
+	if got := readAll(t, m, "/db/wal"); string(got) != "0123AB" {
+		t.Fatalf("content = %q, want 0123AB", got)
+	}
+	// Seek relative to end, then read the tail.
+	if pos, err := f.Seek(-2, io.SeekEnd); err != nil || pos != 4 {
+		t.Fatalf("seek end = (%d, %v)", pos, err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(f, buf); err != nil || string(buf) != "AB" {
+		t.Fatalf("read tail = (%q, %v)", buf, err)
+	}
+}

@@ -1,0 +1,370 @@
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models durability the way crash simulation
+// needs it modeled, in the style of SQLite's test VFS and FoundationDB's
+// simulated disk:
+//
+//   - File data written but not Sync'd lives only in the "page cache": a
+//     crash loses it. Sync copies the file's current content to its durable
+//     image.
+//   - Namespace operations (create, rename, remove) take effect immediately
+//     in the volatile namespace but become durable only when SyncDir runs on
+//     the containing directory. A crash before SyncDir reverts them: a
+//     renamed file reappears under its old name, a created file vanishes.
+//
+// The model is deliberately strict — anything not explicitly made durable is
+// lost on a crash — which is the worst case a correctly fsync'd write-ahead
+// log must survive. CrashImage materializes that worst case; Image
+// materializes the opposite (a graceful process exit, where the OS eventually
+// writes everything back).
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile // volatile namespace: path -> file
+	// durable is the crash-surviving namespace: the set of directory entries
+	// made durable by SyncDir, each pointing at its file ("inode"). The
+	// file's synced content is what the entry recovers to.
+	durable map[string]*memFile
+	// dirs holds created directories. Directory creation is modeled as
+	// immediately durable: the WAL creates its directory exactly once at
+	// Open, before any commit is acknowledged, so losing it can never lose a
+	// committed write — and modeling it volatile would only make every
+	// simulated crash trivially recover to an empty database.
+	dirs map[string]bool
+}
+
+type memFile struct {
+	mu     sync.Mutex
+	data   []byte // volatile content (page cache)
+	synced []byte // content as of the last Sync (on platter)
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		dirs:    map[string]bool{".": true, "/": true},
+	}
+}
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		if !m.dirs[filepath.Dir(name)] {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.mu.Lock()
+		f.data = nil
+		f.mu.Unlock()
+	}
+	return &memHandle{file: f, name: name, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+// Rename implements FS. The volatile namespace changes immediately; the
+// durable namespace changes at the next SyncDir of the containing directory.
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldname, New: newname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// ReadDir implements FS, listing the volatile namespace.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: dir, Err: os.ErrNotExist}
+	}
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	for d := range m.dirs {
+		if d != dir && filepath.Dir(d) == dir {
+			names = append(names, filepath.Base(d))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: the directory's current entries become the durable
+// ones — creates and renames survive a crash from here on, removed entries
+// stop surviving.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] {
+		return &os.PathError{Op: "syncdir", Path: dir, Err: os.ErrNotExist}
+	}
+	for name := range m.durable {
+		if filepath.Dir(name) == dir {
+			if _, live := m.files[name]; !live {
+				delete(m.durable, name)
+			}
+		}
+	}
+	for name, f := range m.files {
+		if filepath.Dir(name) == dir {
+			m.durable[name] = f
+		}
+	}
+	return nil
+}
+
+// CrashImage returns a new filesystem holding exactly what stable storage
+// holds at this moment: the dir-synced namespace, each file at its last
+// Sync'd content. Open handles on the receiver do not affect the image.
+func (m *MemFS) CrashImage() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for name, f := range m.durable {
+		f.mu.Lock()
+		data := clone(f.synced)
+		f.mu.Unlock()
+		nf := &memFile{data: data, synced: clone(data)}
+		out.files[name] = nf
+		out.durable[name] = nf
+	}
+	return out
+}
+
+// Image returns a copy of the full volatile state, everything treated as
+// durable: the disk after a graceful process exit (the OS writes the page
+// cache back eventually).
+func (m *MemFS) Image() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for name, f := range m.files {
+		f.mu.Lock()
+		data := clone(f.data)
+		f.mu.Unlock()
+		nf := &memFile{data: data, synced: clone(data)}
+		out.files[name] = nf
+		out.durable[name] = nf
+	}
+	return out
+}
+
+// memHandle is one open descriptor on a memFile, with its own position.
+type memHandle struct {
+	file     *memFile
+	name     string
+	writable bool
+
+	mu     sync.Mutex
+	pos    int64
+	closed bool
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &os.PathError{Op: "read", Path: h.name, Err: os.ErrClosed}
+	}
+	h.file.mu.Lock()
+	defer h.file.mu.Unlock()
+	if h.pos >= int64(len(h.file.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.file.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrClosed}
+	}
+	if !h.writable {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrPermission}
+	}
+	h.file.mu.Lock()
+	defer h.file.mu.Unlock()
+	end := h.pos + int64(len(p))
+	if int64(len(h.file.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	copy(h.file.data[h.pos:end], p)
+	h.pos = end
+	return len(p), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, &os.PathError{Op: "seek", Path: h.name, Err: os.ErrClosed}
+	}
+	h.file.mu.Lock()
+	size := int64(len(h.file.data))
+	h.file.mu.Unlock()
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = h.pos + offset
+	case io.SeekEnd:
+		abs = size + offset
+	default:
+		return 0, fmt.Errorf("fsx: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("fsx: negative seek position %d", abs)
+	}
+	h.pos = abs
+	return abs, nil
+}
+
+// Sync flushes the file's volatile content to its durable image.
+func (h *memHandle) Sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return &os.PathError{Op: "sync", Path: h.name, Err: os.ErrClosed}
+	}
+	h.file.mu.Lock()
+	h.file.synced = clone(h.file.data)
+	h.file.mu.Unlock()
+	return nil
+}
+
+// Truncate resizes the volatile content; like writes, the truncation becomes
+// durable only at the next Sync (recovery's torn-tail truncation is
+// idempotent, so a lost truncate is re-done on the next open).
+func (h *memHandle) Truncate(size int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return &os.PathError{Op: "truncate", Path: h.name, Err: os.ErrClosed}
+	}
+	h.file.mu.Lock()
+	defer h.file.mu.Unlock()
+	if size < 0 {
+		return &os.PathError{Op: "truncate", Path: h.name, Err: os.ErrInvalid}
+	}
+	if size <= int64(len(h.file.data)) {
+		h.file.data = clone(h.file.data[:size])
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.file.data)
+		h.file.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return &os.PathError{Op: "close", Path: h.name, Err: os.ErrClosed}
+	}
+	h.closed = true
+	return nil
+}
+
+// Exists reports whether a file exists in the volatile namespace (test
+// helper).
+func (m *MemFS) Exists(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[filepath.Clean(name)]
+	return ok
+}
+
+// Paths returns every file path in the volatile namespace, sorted (test
+// helper).
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -11,6 +11,28 @@
 // transactions carry the written variables' full values, because their
 // semantics is wholesale last-writer-wins replacement.
 //
+// All file I/O goes through an fsx.FS (the real filesystem by default), so
+// tests drive the same code over a fault-injecting in-memory filesystem and
+// exercise every failure path deterministically.
+//
+// # Failure model
+//
+// A failed append or fsync *poisons* the log: the error is sticky (Err
+// reports it), every later Append/Sync/Checkpoint fails with a
+// *PoisonedError, and Close reports the poison instead of success. There is
+// deliberately no fsync retry — after a failed fsync the kernel may have
+// dropped the dirty pages while marking them clean, so a retried fsync that
+// "succeeds" can mask lost data (the PostgreSQL fsyncgate lesson). The caller
+// degrades to read-only and recovers by reopening, which truncates the torn
+// tail.
+//
+// Checkpoint failures before the snapshot rename are clean aborts: the old
+// generation is untouched and the log stays appendable, so they are safe to
+// retry (Options.CheckpointRetries bounds automatic retries). A failure to
+// make the rename durable (the directory fsync after it) poisons the log: at
+// that point it is unknowable which generation a crash would surface, and
+// proceeding would delete the old one.
+//
 // # On-disk layout
 //
 // A database directory holds at most two generations of a snapshot/log pair:
@@ -32,7 +54,9 @@
 // Recovery replays records in order and stops at the first torn or corrupt
 // record (short frame or CRC mismatch), truncating the file there: exactly
 // the committed prefix survives, and a half-written transaction batch is
-// discarded whole.
+// discarded whole. A read that fails with a real I/O error (not a short
+// read at end-of-file) fails recovery instead: truncating there would
+// silently discard committed records that are still on disk.
 package wal
 
 import (
@@ -46,8 +70,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/fsx"
 	"repro/internal/relation"
 	"repro/internal/store"
 	"repro/internal/value"
@@ -86,10 +113,35 @@ type Options struct {
 	// snapshot checkpoint; 0 means DefaultCheckpointEvery, negative disables
 	// automatic checkpoints (explicit Checkpoint calls still work).
 	CheckpointEvery int
+	// CheckpointRetries is the number of times a cleanly failed checkpoint
+	// (old generation intact, rename not committed) is retried before the
+	// error is returned; 0 means no retries. Retries back off starting at
+	// CheckpointBackoff, doubling each attempt.
+	CheckpointRetries int
+	// CheckpointBackoff is the initial delay between checkpoint retries.
+	// The backoff sleeps with the log lock held: appends wait, reads proceed.
+	CheckpointBackoff time.Duration
+	// FS is the filesystem the log runs over; nil means the real one
+	// (fsx.OsFS). Tests inject fault-scripted filesystems here.
+	FS fsx.FS
 }
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
+
+// PoisonedError reports an operation refused because an earlier unrecoverable
+// I/O failure poisoned the log. The log's sticky error (also available via
+// Err) is the cause.
+type PoisonedError struct {
+	Cause error
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("wal: log poisoned by unrecoverable I/O failure: %v", e.Cause)
+}
+
+// Unwrap exposes the poisoning failure.
+func (e *PoisonedError) Unwrap() error { return e.Cause }
 
 // RecoveryError reports a log record that passed its checksum but could not
 // be decoded or applied: the log and the snapshot have diverged, which is
@@ -135,16 +187,27 @@ const (
 // implements store.Logger, so attaching it to a store.Database makes every
 // mutation durable. All methods are safe for concurrent use.
 type Log struct {
-	dir   string
-	sync  SyncPolicy
-	every int
+	dir     string
+	fs      fsx.FS
+	sync    SyncPolicy
+	every   int
+	retries int
+	backoff time.Duration
 
 	mu     sync.Mutex
-	f      *os.File
+	f      fsx.File
 	gen    uint64
 	n      int   // records in the current log tail
 	off    int64 // current end offset of the log file
 	closed bool
+	// err is the sticky poison: the first unrecoverable I/O failure. Once
+	// set, appends, syncs, and checkpoints are refused and Close reports it.
+	err error
+	// rotateAt is the tail-record count at which the next automatic
+	// checkpoint triggers; pushed back by a checkpoint interval after a
+	// cleanly failed automatic rotation so availability does not turn into
+	// a retry storm on every append.
+	rotateAt int
 }
 
 func snapPath(dir string, gen uint64) string {
@@ -161,18 +224,30 @@ func logPath(dir string, gen uint64) string {
 // caller attaches the log with store.Database.SetLogger once it is done
 // inspecting the recovered state.
 func Open(dir string, opts Options) (*Log, *store.Database, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = fsx.OsFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, err
 	}
-	snaps, logs, err := scan(dir)
+	snaps, logs, err := scan(fs, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	l := &Log{dir: dir, sync: opts.Sync, every: opts.CheckpointEvery}
+	l := &Log{
+		dir:     dir,
+		fs:      fs,
+		sync:    opts.Sync,
+		every:   opts.CheckpointEvery,
+		retries: opts.CheckpointRetries,
+		backoff: opts.CheckpointBackoff,
+	}
 	if l.every == 0 {
 		l.every = DefaultCheckpointEvery
 	}
+	l.rotateAt = l.every
 
 	// The newest snapshot is the recovery base. If it does not load —
 	// external damage or a transient I/O error; checkpoints rename
@@ -183,7 +258,7 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 	var gen uint64
 	if len(snaps) > 0 {
 		gen = snaps[len(snaps)-1]
-		d, err := loadSnapshot(snapPath(dir, gen))
+		d, err := loadSnapshot(fs, snapPath(dir, gen))
 		if err != nil {
 			return nil, nil, &CorruptSnapshotError{Path: snapPath(dir, gen), Err: err}
 		}
@@ -199,47 +274,56 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 	}
 	l.gen = gen
 
-	f, err := os.OpenFile(logPath(dir, gen), os.O_RDWR|os.O_CREATE, 0o666)
+	f, err := fs.OpenFile(logPath(dir, gen), os.O_RDWR|os.O_CREATE, 0o666)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Make the directory entries (the dir itself and a freshly created log
-	// file) durable: without this, SyncAlways commits on a young database
-	// could fsync file data whose dirent a machine crash then loses.
-	syncDir(filepath.Dir(dir))
-	syncDir(dir)
+	// Best-effort only for the parent: it covers just the creation of the
+	// database directory itself, which happens once before any commit is
+	// acknowledged, and fsync on an arbitrary parent directory is not
+	// supported everywhere.
+	_ = fs.SyncDir(filepath.Dir(dir))
+	// The directory entry of a freshly created log file must be durable
+	// before SyncAlways acknowledges commits into it: fsync of file data is
+	// worthless if a machine crash loses the dirent. This one propagates.
+	if err := fs.SyncDir(dir); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("wal: making %s durable: %w", dir, err)
+	}
 	n, off, err := replay(f, db)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	// Truncate a torn tail so future appends extend the committed prefix.
 	if err := f.Truncate(off); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, nil, err
 	}
 	l.f, l.n, l.off = f, n, off
 
-	// Stale generations left by a crash between checkpoint and cleanup.
+	// Stale generations left by a crash between checkpoint and cleanup, and
+	// snapshot temp files left by a checkpoint interrupted before its rename.
+	// All best-effort: leftovers are harmless and re-attempted next Open.
 	for _, g := range snaps {
 		if g != gen {
-			os.Remove(snapPath(dir, g))
+			_ = fs.Remove(snapPath(dir, g))
 		}
 	}
 	for _, g := range logs {
 		if g != gen {
-			os.Remove(logPath(dir, g))
+			_ = fs.Remove(logPath(dir, g))
 		}
 	}
-	// Snapshot temp files left by a checkpoint interrupted before its
-	// rename.
-	if tmps, _ := filepath.Glob(filepath.Join(dir, "snap-*.dbpl.tmp")); len(tmps) > 0 {
-		for _, p := range tmps {
-			os.Remove(p)
+	if names, err := fs.ReadDir(dir); err == nil {
+		for _, name := range names {
+			if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".dbpl.tmp") {
+				_ = fs.Remove(filepath.Join(dir, name))
+			}
 		}
 	}
 	return l, db, nil
@@ -247,18 +331,18 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 
 // scan lists the snapshot and log generations present in dir, sorted
 // ascending.
-func scan(dir string) (snaps, logs []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func scan(fs fsx.FS, dir string) (snaps, logs []uint64, err error) {
+	names, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, e := range entries {
+	for _, name := range names {
 		var g uint64
-		if _, err := fmt.Sscanf(e.Name(), "snap-%d.dbpl", &g); err == nil && e.Name() == filepath.Base(snapPath(dir, g)) {
+		if _, err := fmt.Sscanf(name, "snap-%d.dbpl", &g); err == nil && name == filepath.Base(snapPath(dir, g)) {
 			snaps = append(snaps, g)
 			continue
 		}
-		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &g); err == nil && e.Name() == filepath.Base(logPath(dir, g)) {
+		if _, err := fmt.Sscanf(name, "wal-%d.log", &g); err == nil && name == filepath.Base(logPath(dir, g)) {
 			logs = append(logs, g)
 		}
 	}
@@ -267,25 +351,36 @@ func scan(dir string) (snaps, logs []uint64, err error) {
 	return snaps, logs, nil
 }
 
-func loadSnapshot(path string) (*store.Database, error) {
-	f, err := os.Open(path)
+func loadSnapshot(fs fsx.FS, path string) (*store.Database, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return store.Load(f)
+	db, err := store.Load(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // replay applies the valid record prefix of the log file to db, returning
 // the record count and the offset of the first torn/corrupt byte (the commit
-// horizon). Records that pass their checksum but fail to decode or apply
-// return a *RecoveryError.
-func replay(f *os.File, db *store.Database) (records int, goodOff int64, err error) {
+// horizon). A short read at end-of-file is the torn-tail horizon; a read
+// that fails with a real I/O error fails replay — truncating there would
+// discard committed records that are still on disk. Records that pass their
+// checksum but fail to decode or apply return a *RecoveryError.
+func replay(f fsx.File, db *store.Database) (records int, goodOff int64, err error) {
 	var off int64
 	var header [frameHeaderLen]byte
 	for {
 		if _, err := io.ReadFull(f, header[:]); err != nil {
-			return records, off, nil // clean EOF or torn header
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, off, nil // clean EOF or torn header
+			}
+			return records, off, fmt.Errorf("wal: reading %s: %w", f.Name(), err)
 		}
 		length := binary.LittleEndian.Uint32(header[0:4])
 		sum := binary.LittleEndian.Uint32(header[4:8])
@@ -299,7 +394,10 @@ func replay(f *os.File, db *store.Database) (records int, goodOff int64, err err
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return records, off, nil // torn payload
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, off, nil // torn payload
+			}
+			return records, off, fmt.Errorf("wal: reading %s: %w", f.Name(), err)
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
 			return records, off, nil // corrupt payload
@@ -463,20 +561,45 @@ func decodeBatch(payload []byte) ([]store.Mutation, error) {
 	return batch, nil
 }
 
+// poisonLocked records the first unrecoverable I/O failure and returns it.
+// Caller holds l.mu.
+func (l *Log) poisonLocked(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
 // Append implements store.Logger: it durably appends one mutation batch as a
 // single record, cutting a snapshot checkpoint first when the log has grown
 // past the configured threshold. It is called with the store's write lock
 // held and the pre-batch state closure, so the snapshot lands at exactly the
 // log position being appended to.
+//
+// A write or fsync failure poisons the log (see the package comment's
+// failure model): the mutation is aborted, nothing is published, and every
+// later Append fails with a *PoisonedError. A cleanly failed automatic
+// checkpoint does not fail the append — the record lands on the current log,
+// which just keeps growing until a later checkpoint succeeds.
 func (l *Log) Append(batch []store.Mutation, state func(io.Writer) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if l.every > 0 && l.n >= l.every {
-		if err := l.rotateLocked(state); err != nil {
-			return err
+	if l.err != nil {
+		return &PoisonedError{Cause: l.err}
+	}
+	if l.every > 0 && l.n >= l.rotateAt {
+		if err := l.rotateRetryLocked(state); err != nil {
+			if l.err != nil {
+				return &PoisonedError{Cause: l.err}
+			}
+			// Clean checkpoint failure: the old generation is intact and the
+			// log is still appendable, so prefer availability — append to the
+			// current log and re-attempt the rotation only after another
+			// checkpoint interval, not on every append.
+			l.rotateAt = l.n + l.every
 		}
 	}
 	payload, err := encodeBatch(batch)
@@ -494,19 +617,18 @@ func (l *Log) Append(batch []store.Mutation, state func(io.Writer) error) error 
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 	copy(frame[frameHeaderLen:], payload)
 	if _, err := l.f.Write(frame); err != nil {
-		// Roll back a partial frame so later appends extend a clean prefix.
-		l.f.Truncate(l.off)
-		l.f.Seek(l.off, io.SeekStart)
-		return err
+		// Part of the frame may or may not be in the page cache; neither a
+		// truncate nor further appends can be trusted after a failed write,
+		// so the log is poisoned. Recovery truncates the torn frame.
+		return l.poisonLocked(err)
 	}
 	if l.sync == SyncAlways {
 		if err := l.f.Sync(); err != nil {
-			// The record reached the file but not stable storage, and the
-			// caller will abort the mutation — drop it so a later recovery
-			// cannot resurrect a commit that was reported as failed.
-			l.f.Truncate(l.off)
-			l.f.Seek(l.off, io.SeekStart)
-			return err
+			// No fsync retry: after a failed fsync the kernel may have
+			// dropped the dirty pages while marking them clean, so a retry
+			// that "succeeds" can mask the loss. The commit is reported
+			// failed and the log poisoned; recovery decides what survived.
+			return l.poisonLocked(err)
 		}
 	}
 	l.n++
@@ -515,7 +637,8 @@ func (l *Log) Append(batch []store.Mutation, state func(io.Writer) error) error 
 }
 
 // Checkpoint implements store.Logger: it writes a snapshot of the current
-// state and truncates the log. Callers go through store.Database.Checkpoint,
+// state and truncates the log, retrying cleanly failed attempts per the
+// configured retry policy. Callers go through store.Database.Checkpoint,
 // which supplies the state closure under the store lock.
 func (l *Log) Checkpoint(state func(io.Writer) error) error {
 	l.mu.Lock()
@@ -523,33 +646,59 @@ func (l *Log) Checkpoint(state func(io.Writer) error) error {
 	if l.closed {
 		return ErrClosed
 	}
-	return l.rotateLocked(state)
+	if l.err != nil {
+		return &PoisonedError{Cause: l.err}
+	}
+	return l.rotateRetryLocked(state)
+}
+
+// rotateRetryLocked runs rotateLocked with the configured bounded retry:
+// only clean failures (rename not committed, old generation intact) are
+// retried; a poisoned log stops immediately.
+func (l *Log) rotateRetryLocked(state func(io.Writer) error) error {
+	backoff := l.backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = l.rotateLocked(state)
+		if err == nil || l.err != nil || attempt >= l.retries {
+			return err
+		}
+		if backoff > 0 {
+			// Sleeping with l.mu held: concurrent appends wait (they would
+			// fail against the same full/broken disk), snapshot reads proceed.
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // rotateLocked cuts generation gen+1: snapshot (write temp, fsync, rename),
-// fresh empty log, then removal of generation gen. A crash anywhere leaves a
-// recoverable directory: the rename is the commit point, and until the old
-// generation is removed both are complete.
+// fresh empty log, then removal of generation gen. The rename is the commit
+// point: failures before it abort cleanly (generation gen untouched, log
+// still appendable — that is what makes checkpoints retryable); a failure to
+// make the rename durable poisons the log.
 func (l *Log) rotateLocked(state func(io.Writer) error) error {
 	next := l.gen + 1
 	snap := snapPath(l.dir, next)
 	tmp := snap + ".tmp"
-	sf, err := os.Create(tmp)
+	sf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
+	// Temp-file removal on the abort paths is best-effort: the next Open
+	// sweeps stray *.tmp files.
 	if err := state(sf); err != nil {
-		sf.Close()
-		os.Remove(tmp)
+		_ = sf.Close()
+		_ = l.fs.Remove(tmp)
 		return err
 	}
 	if err := sf.Sync(); err != nil {
-		sf.Close()
-		os.Remove(tmp)
+		_ = sf.Close()
+		_ = l.fs.Remove(tmp)
 		return err
 	}
 	if err := sf.Close(); err != nil {
-		os.Remove(tmp)
+		_ = l.fs.Remove(tmp)
 		return err
 	}
 	// The next generation's log is created BEFORE the snapshot rename, so
@@ -557,54 +706,86 @@ func (l *Log) rotateLocked(state func(io.Writer) error) error {
 	// directory still holds only generation gen (a stray empty wal-(gen+1)
 	// without its snapshot is removed by the next Open), and after it the
 	// new generation is complete.
-	nf, err := os.OpenFile(logPath(l.dir, next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	nf, err := l.fs.OpenFile(logPath(l.dir, next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
-		os.Remove(tmp)
+		_ = l.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, snap); err != nil {
-		nf.Close()
-		os.Remove(logPath(l.dir, next))
-		os.Remove(tmp)
+	if err := l.fs.Rename(tmp, snap); err != nil {
+		_ = nf.Close()
+		_ = l.fs.Remove(logPath(l.dir, next))
+		_ = l.fs.Remove(tmp)
 		return err
 	}
-	syncDir(l.dir)
+	// The rename must now be made durable. If this directory fsync fails it
+	// is unknowable whether a crash would surface the old or the new
+	// generation, and proceeding would delete the old one — so the failure
+	// poisons the log (both generations stay on disk; recovery picks the
+	// newest complete one).
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		_ = nf.Close()
+		return l.poisonLocked(fmt.Errorf("wal: making checkpoint rename %s durable: %w", snap, err))
+	}
 	old := l.gen
-	l.f.Close()
+	// Closing the outgoing log and removing the superseded generation are
+	// best-effort: the snapshot that just committed supersedes the old log's
+	// records, and Open sweeps stale generations.
+	_ = l.f.Close()
 	l.f, l.gen, l.n, l.off = nf, next, 0, 0
-	os.Remove(logPath(l.dir, old))
-	os.Remove(snapPath(l.dir, old))
+	l.rotateAt = l.every
+	_ = l.fs.Remove(logPath(l.dir, old))
+	_ = l.fs.Remove(snapPath(l.dir, old))
 	return nil
 }
 
-// syncDir fsyncs the directory so renames and creates are durable;
-// best-effort (not all platforms support it).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
-// Sync forces the log file to stable storage regardless of policy.
+// Sync forces the log file to stable storage regardless of policy. A failure
+// poisons the log, exactly like a failed per-commit fsync.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	return l.f.Sync()
+	if l.err != nil {
+		return &PoisonedError{Cause: l.err}
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.poisonLocked(err)
+	}
+	return nil
 }
 
-// Close syncs and closes the log. Further appends fail with ErrClosed.
+// Err returns the sticky error that poisoned the log, or nil while it is
+// healthy. It stays set after Close, so callers can distinguish "closed
+// clean" from "closed poisoned".
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close syncs and closes the log; further appends fail with ErrClosed. A
+// poisoned log closes without the final sync — retrying an fsync whose
+// predecessor failed could report success while masking lost data — and
+// Close (first and repeated) reports the poison instead of success.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
+		if l.err != nil {
+			return &PoisonedError{Cause: l.err}
+		}
 		return nil
 	}
 	l.closed = true
+	if l.err != nil {
+		_ = l.f.Close()
+		return &PoisonedError{Cause: l.err}
+	}
 	err := l.f.Sync()
+	if err != nil {
+		l.err = err
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -2,7 +2,9 @@ package dbpl
 
 import (
 	"io"
+	"time"
 
+	"repro/internal/fsx"
 	"repro/internal/wal"
 )
 
@@ -38,6 +40,12 @@ type config struct {
 	path            string
 	syncPolicy      SyncPolicy
 	checkpointEvery int
+	ckptRetries     int
+	ckptBackoff     time.Duration
+	// fs overrides the filesystem the durability stack runs over; nil means
+	// the real one. Test-only (withFS): fault-injection harnesses plug in
+	// scriptable filesystems here.
+	fs fsx.FS
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
@@ -117,6 +125,28 @@ func WithSync(p SyncPolicy) Option {
 // effect without WithPath.
 func WithCheckpointEvery(n int) Option {
 	return func(c *config) { c.checkpointEvery = n }
+}
+
+// WithCheckpointRetry bounds automatic retries of cleanly failed snapshot
+// checkpoints on a durable database: up to n retries, backing off starting
+// at backoff and doubling per attempt. Checkpoints are safe to retry because
+// the snapshot rename is their commit point — a clean failure (disk full
+// while writing the snapshot temp file, say) leaves the previous generation
+// fully intact and the log still appendable. Failures past the commit point
+// are not retried; they degrade the database to read-only instead. The
+// default is no retries. It has no effect without WithPath.
+func WithCheckpointRetry(n int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.ckptRetries = n
+		c.ckptBackoff = backoff
+	}
+}
+
+// withFS runs the durability stack over an alternative filesystem. Test-only:
+// the crash-simulation harness injects fault-scripted in-memory filesystems
+// through it.
+func withFS(fs fsx.FS) Option {
+	return func(c *config) { c.fs = fs }
 }
 
 // WithOptimizer selects the optimizer pass pipeline by name, in order. Pass

@@ -105,8 +105,11 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	if cfg.path != "" {
 		wlog, st, err := wal.Open(cfg.path, wal.Options{
-			Sync:            cfg.syncPolicy,
-			CheckpointEvery: cfg.checkpointEvery,
+			Sync:              cfg.syncPolicy,
+			CheckpointEvery:   cfg.checkpointEvery,
+			CheckpointRetries: cfg.ckptRetries,
+			CheckpointBackoff: cfg.ckptBackoff,
+			FS:                cfg.fs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dbpl: opening durable store at %s: %w", cfg.path, err)
@@ -210,8 +213,80 @@ func (d *DB) recordStatsSince(en *core.Engine, before uint64) {
 // state is written to a new snapshot and the write-ahead log is truncated.
 // It is a no-op for a memory-only database. Concurrent queries proceed
 // against their snapshots; writers wait for the checkpoint.
+//
+// A cleanly failed checkpoint (the snapshot rename — its commit point — was
+// never reached) leaves the previous generation intact and the log
+// appendable; it is retried automatically per WithCheckpointRetry before the
+// error is returned, and remains safe to retry by calling Checkpoint again.
 func (d *DB) Checkpoint() error {
-	return d.store().Checkpoint()
+	return wrapErr(d.noteMutErr(d.store().Checkpoint()))
+}
+
+// Health reports the durability state of the database.
+type Health struct {
+	// Durable reports whether the database is backed by a write-ahead log
+	// (Open with WithPath). Memory-only databases are always ok.
+	Durable bool
+	// Degraded reports read-only mode: an unrecoverable I/O failure poisoned
+	// the write-ahead log, writes are refused with a *DegradedError, and
+	// reads keep serving the last published state.
+	Degraded bool
+	// Cause is the I/O failure that degraded the database; nil while ok.
+	Cause error
+	// Generation is the current snapshot-checkpoint generation (0 for a
+	// memory-only database).
+	Generation uint64
+	// TailRecords is the number of write-ahead-log records appended since
+	// the last checkpoint.
+	TailRecords int
+}
+
+// String renders the state compactly: "ok", "ok generation=3 tail=17", or
+// "degraded generation=3 tail=17: <cause>".
+func (h Health) String() string {
+	if !h.Durable {
+		return "ok"
+	}
+	if h.Degraded {
+		return fmt.Sprintf("degraded generation=%d tail=%d: %v", h.Generation, h.TailRecords, h.Cause)
+	}
+	return fmt.Sprintf("ok generation=%d tail=%d", h.Generation, h.TailRecords)
+}
+
+// Health reports whether the database is fully operational or degraded to
+// read-only, the I/O failure that degraded it, and the current checkpoint
+// generation. It is safe to call concurrently with reads and writes.
+func (d *DB) Health() Health {
+	if d.wal == nil {
+		return Health{}
+	}
+	h := Health{
+		Durable:     true,
+		Generation:  d.wal.Generation(),
+		TailRecords: d.wal.TailRecords(),
+	}
+	if cause := d.wal.Err(); cause != nil {
+		h.Degraded = true
+		h.Cause = cause
+	}
+	return h
+}
+
+// noteMutErr maps a failed mutation on a database whose write-ahead log has
+// been poisoned onto the exported degraded-mode surface: the caller gets a
+// *DegradedError (matching errors.Is(err, ErrReadOnly)) wrapping the
+// poisoning I/O failure. Failures with a healthy log — key conflicts, guard
+// violations, ErrClosed after Close — pass through untouched. The very
+// first failing write and every one after it report the same way, so
+// callers need exactly one branch.
+func (d *DB) noteMutErr(err error) error {
+	if err == nil || d.wal == nil {
+		return err
+	}
+	if cause := d.wal.Err(); cause != nil {
+		return &DegradedError{Cause: cause}
+	}
+	return err
 }
 
 // Close syncs and closes a durable database's write-ahead log; mutations
@@ -219,11 +294,15 @@ func (d *DB) Checkpoint() error {
 // in-memory state. It is a no-op (and returns nil) for a memory-only
 // database. Close does not cut a checkpoint; the log tail replays on the
 // next Open.
+//
+// Closing a degraded database does not report success: Close returns a
+// *DegradedError carrying the poisoning failure, so an unconditional
+// `defer db.Close()` still surfaces the data-loss cause somewhere.
 func (d *DB) Close() error {
 	if d.wal == nil {
 		return nil
 	}
-	return d.wal.Close()
+	return d.noteMutErr(d.wal.Close())
 }
 
 // ExecToContext compiles and runs a DBPL module with streaming SHOW output
@@ -274,7 +353,10 @@ func (d *DB) ExecToContext(ctx context.Context, out io.Writer, src string) error
 		d.env.Ctx = nil
 		d.recordStatsSince(d.Engine, applies)
 	}()
-	return wrapErr(rt.Run())
+	// Statement failures on a database whose log has been poisoned surface
+	// as degraded-mode errors (the module's earlier statements that logged
+	// successfully stay published — statements are individually atomic).
+	return wrapErr(d.noteMutErr(rt.Run()))
 }
 
 // mergeEnv folds a freshly built runtime environment into the accumulated
@@ -450,7 +532,7 @@ func (d *DB) LoadStore(r io.Reader) error {
 		d.Store.SetLogger(nil)
 		if err := db.AdoptLogger(d.wal); err != nil {
 			d.Store.SetLogger(d.wal)
-			return fmt.Errorf("dbpl: persisting replacement store: %w", err)
+			return fmt.Errorf("dbpl: persisting replacement store: %w", d.noteMutErr(err))
 		}
 	}
 	d.Store = db

@@ -271,9 +271,11 @@ func (t *Tx) Commit() error {
 	}
 	// The store commit write-ahead logs the batch (on a durable DB) before
 	// publishing; a log failure leaves both the store and this transaction
-	// open, so the caller can retry Commit or Rollback.
+	// open, so the caller can retry Commit or Rollback — except a poisoned
+	// log (degraded read-only mode), where retrying can never succeed and
+	// the error says so.
 	if err := t.tx.Commit(); err != nil {
-		return wrapErr(err)
+		return wrapErr(t.db.noteMutErr(err))
 	}
 	t.done = true
 	return nil
