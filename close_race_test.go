@@ -8,10 +8,14 @@ package dbpl_test
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	dbpl "repro"
+	"repro/client"
+	"repro/internal/server"
 )
 
 func openSeeded(t *testing.T, opts ...dbpl.Option) *dbpl.DB {
@@ -173,5 +177,99 @@ func TestDBCloseRacesQueryContext(t *testing.T) {
 	}
 	if err := db.Insert("E", dbpl.NewTuple(dbpl.Str("x"), dbpl.Str("y"))); !errors.Is(err, dbpl.ErrClosed) {
 		t.Fatalf("write after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestServerShutdownRacesHeldCursors is the network edition of the race
+// above: cursors held by dbpld sessions (fetch size 1, so every tuple is a
+// separate round-trip) race a graceful server Shutdown. A cursor opened
+// before the drain began must stream every tuple to the end — the drain keeps
+// fetches serving — while new queries fail cleanly with the shutdown
+// refusal, never a panic, a short read, or a hung connection. Run under
+// -race.
+func TestServerShutdownRacesHeldCursors(t *testing.T) {
+	ctx := context.Background()
+	db := openSeeded(t)
+	defer db.Close()
+
+	srv := server.New(db, server.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck // exits when Shutdown closes the listener
+
+	// Phase 1: every worker opens a cursor and pulls one tuple, so the server
+	// holds a mid-stream cursor per session when the drain begins.
+	const workers = 6
+	held := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Open(l.Addr().String(), client.WithFetchSize(1))
+			if err != nil {
+				t.Errorf("pre-shutdown connect: %v", err)
+				held <- struct{}{}
+				return
+			}
+			defer c.Close()
+			rows, err := c.QueryContext(ctx, `E`)
+			if err != nil {
+				t.Errorf("pre-shutdown query: %v", err)
+				held <- struct{}{}
+				return
+			}
+			n := 0
+			if rows.Next() {
+				n++
+			}
+			held <- struct{}{} // cursor now held server-side, 2 tuples to go
+
+			// Phase 2: drain the rest while Shutdown runs concurrently.
+			for rows.Next() {
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				t.Errorf("held cursor broke during drain: %v", err)
+			}
+			if n != 3 {
+				t.Errorf("held cursor streamed %d of 3 tuples through Shutdown", n)
+			}
+			if err := rows.Close(); err != nil {
+				t.Errorf("Close during drain: %v", err)
+			}
+
+			// New work must eventually be refused, not hang: a query issued
+			// before the drain flag lands may still succeed, so poll. Closing
+			// each cursor promptly keeps the session drainable throughout.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				rows, err := c.QueryContext(ctx, `E`)
+				if err != nil {
+					break // refused mid-drain, or the session closed under us
+				}
+				rows.Close()
+				if time.Now().After(deadline) {
+					t.Error("queries were never refused after Shutdown")
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	for g := 0; g < workers; g++ {
+		<-held
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown did not drain cleanly: %v", err)
+	}
+	wg.Wait()
+	if n := srv.Sessions(); n != 0 {
+		t.Fatalf("%d sessions survived Shutdown", n)
 	}
 }

@@ -5,6 +5,11 @@
 // -repl) it drops into an interactive session with an :explain command that
 // prints the optimizer's text plan for a query.
 //
+// With -connect the same REPL (and file execution) runs against a dbpld
+// server instead of an embedded database — modules, queries, :explain, and
+// :analyze all travel over the wire, and :health reports the server's
+// durability and replication state.
+//
 // Execution goes through the session API, so an interrupt (Ctrl-C) or the
 // -timeout flag aborts a runaway recursive constructor mid-fixpoint instead
 // of leaving the process stuck.
@@ -21,6 +26,8 @@
 //	dbplc -timeout 10s f.dbpl   # bound total execution time
 //	dbplc -path dir f.dbpl      # durable store: recover dir, log mutations
 //	dbplc -path dir -sync never # relax the fsync policy (process-crash safe)
+//	dbplc -connect host:7474    # remote session against a dbpld server
+//	dbplc -connect host:7474 -token secret f.dbpl
 package main
 
 import (
@@ -31,13 +38,27 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
 	dbpl "repro"
+	"repro/client"
 
 	"repro/internal/compile"
 )
+
+// engine is the REPL's view of a database session, satisfied by both the
+// embedded dbpl.DB and a remote client.DB, so every command works
+// identically in either mode.
+type engine interface {
+	ExecContext(ctx context.Context, src string) (string, error)
+	QueryText(ctx context.Context, src string) (string, error)
+	ExplainText(ctx context.Context, src string, analyze bool) (string, error)
+	Vars(ctx context.Context) ([]client.VarInfo, error)
+	HealthText(ctx context.Context) (string, error)
+	Close() error
+}
 
 func main() {
 	checkOnly := flag.Bool("check", false, "compile only; print the analysis")
@@ -48,11 +69,17 @@ func main() {
 	replFlag := flag.Bool("repl", false, "drop into an interactive session (after running the file, if given)")
 	path := flag.String("path", "", "durable store directory: recover it on start, write-ahead log every mutation")
 	syncMode := flag.String("sync", "always", "fsync policy for -path: always (machine-crash safe) or never (process-crash safe)")
+	connect := flag.String("connect", "", "run against a dbpld server at this address instead of an embedded database")
+	token := flag.String("token", "", "auth token for -connect")
 	flag.Parse()
 
 	interactive := *replFlag || flag.NArg() == 0
 	if flag.NArg() > 1 || ((*checkOnly || *graph) && flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] [-naive] [-timeout d] [-repl] [file.dbpl]")
+		fmt.Fprintln(os.Stderr, "usage: dbplc [-check] [-graph] [-lax] [-naive] [-timeout d] [-repl] [-connect addr] [file.dbpl]")
+		os.Exit(2)
+	}
+	if *connect != "" && (*checkOnly || *graph || *lax || *naive || *path != "") {
+		fmt.Fprintln(os.Stderr, "dbplc: -connect is a pure client; -check, -graph, -lax, -naive, and -path need the embedded compiler")
 		os.Exit(2)
 	}
 	var src []byte
@@ -97,31 +124,45 @@ func main() {
 		defer cancel()
 	}
 
-	mode := dbpl.SemiNaive
-	if *naive {
-		mode = dbpl.Naive
-	}
-	opts := []dbpl.Option{dbpl.WithStrict(!*lax), dbpl.WithMode(mode)}
-	if *path != "" {
-		sp := dbpl.SyncAlways
-		switch *syncMode {
-		case "always":
-		case "never":
-			sp = dbpl.SyncNever
-		default:
-			fmt.Fprintf(os.Stderr, "unknown -sync policy %q (want always or never)\n", *syncMode)
-			os.Exit(2)
+	var eng engine
+	if *connect != "" {
+		c, err := client.Open(*connect, client.WithToken(*token))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		opts = append(opts, dbpl.WithPath(*path), dbpl.WithSync(sp))
-	}
-	db, err := dbpl.Open(opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "connected to %s (%s)\n", *connect, c.Role())
+		eng = &remoteEngine{c: c}
+	} else {
+		mode := dbpl.SemiNaive
+		if *naive {
+			mode = dbpl.Naive
+		}
+		opts := []dbpl.Option{dbpl.WithStrict(!*lax), dbpl.WithMode(mode)}
+		if *path != "" {
+			sp := dbpl.SyncAlways
+			switch *syncMode {
+			case "always":
+			case "never":
+				sp = dbpl.SyncNever
+			default:
+				fmt.Fprintf(os.Stderr, "unknown -sync policy %q (want always or never)\n", *syncMode)
+				os.Exit(2)
+			}
+			opts = append(opts, dbpl.WithPath(*path), dbpl.WithSync(sp))
+		}
+		db, err := dbpl.Open(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng = &localEngine{db: db}
 	}
 	if src != nil {
-		if err := db.ExecToContext(ctx, os.Stdout, string(src)); err != nil {
-			db.Close()
+		out, err := eng.ExecContext(ctx, string(src))
+		fmt.Print(out)
+		if err != nil {
+			eng.Close()
 			switch {
 			case errors.Is(err, context.Canceled):
 				fmt.Fprintf(os.Stderr, "%s: interrupted\n", flag.Arg(0))
@@ -134,18 +175,127 @@ func main() {
 		}
 	}
 	if interactive {
-		repl(db, *timeout)
+		repl(eng, *timeout)
 	}
-	if err := db.Close(); err != nil {
+	if err := eng.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
+// localEngine adapts the embedded session API.
+type localEngine struct{ db *dbpl.DB }
+
+func (l *localEngine) ExecContext(ctx context.Context, src string) (string, error) {
+	return l.db.ExecContext(ctx, src)
+}
+
+func (l *localEngine) QueryText(ctx context.Context, src string) (string, error) {
+	rows, err := l.db.QueryContext(ctx, src)
+	if err != nil {
+		return "", err
+	}
+	defer rows.Close()
+	return rows.Relation().String(), nil
+}
+
+func (l *localEngine) ExplainText(ctx context.Context, src string, analyze bool) (string, error) {
+	var plan *dbpl.Plan
+	var err error
+	if analyze {
+		plan, err = l.db.ExplainQuery(ctx, src)
+	} else {
+		plan, err = l.db.Explain(ctx, src)
+	}
+	if err != nil {
+		return "", err
+	}
+	return plan.Text(), nil
+}
+
+func (l *localEngine) Vars(context.Context) ([]client.VarInfo, error) {
+	var vars []client.VarInfo
+	for _, name := range l.db.StoreSnapshot().Names() {
+		if rel, ok := l.db.Relation(name); ok {
+			vars = append(vars, client.VarInfo{Name: name, Tuples: rel.Len()})
+		}
+	}
+	return vars, nil
+}
+
+func (l *localEngine) HealthText(context.Context) (string, error) {
+	h := l.db.Health()
+	s := fmt.Sprintf("embedded: durable=%v degraded=%v generation=%d tail=%d", h.Durable, h.Degraded, h.Generation, h.TailRecords)
+	if h.Cause != nil {
+		s += fmt.Sprintf(" cause=%q", h.Cause)
+	}
+	return s, nil
+}
+
+func (l *localEngine) Close() error { return l.db.Close() }
+
+// remoteEngine adapts a dbpld connection.
+type remoteEngine struct{ c *client.DB }
+
+func (r *remoteEngine) ExecContext(ctx context.Context, src string) (string, error) {
+	return r.c.ExecContext(ctx, src)
+}
+
+func (r *remoteEngine) QueryText(ctx context.Context, src string) (string, error) {
+	rows, err := r.c.QueryContext(ctx, src)
+	if err != nil {
+		return "", err
+	}
+	defer rows.Close()
+	// Batches stream in store order; sort so remote output matches the
+	// deterministic (sorted) rendering of local SHOW and query results.
+	var tuples []string
+	for rows.Next() {
+		tuples = append(tuples, rows.Tuple().String())
+	}
+	if err := rows.Err(); err != nil {
+		return "", err
+	}
+	sort.Strings(tuples)
+	return "{" + strings.Join(tuples, ", ") + "}", nil
+}
+
+func (r *remoteEngine) ExplainText(ctx context.Context, src string, analyze bool) (string, error) {
+	if analyze {
+		return r.c.ExplainAnalyze(ctx, src)
+	}
+	return r.c.Explain(ctx, src)
+}
+
+func (r *remoteEngine) Vars(ctx context.Context) ([]client.VarInfo, error) {
+	return r.c.Vars(ctx)
+}
+
+func (r *remoteEngine) HealthText(ctx context.Context) (string, error) {
+	h, err := r.c.Health(ctx)
+	if err != nil {
+		return "", err
+	}
+	s := fmt.Sprintf("%s: durable=%v degraded=%v generation=%d tail=%d", h.Role, h.Durable, h.Degraded, h.Generation, h.Tail)
+	if h.Cause != "" {
+		s += fmt.Sprintf(" cause=%q", h.Cause)
+	}
+	if h.Role == "replica" {
+		s += fmt.Sprintf(" connected=%v applied=%d", h.Connected, h.Applied)
+		if h.StreamErr != "" {
+			s += fmt.Sprintf(" stream-error=%q", h.StreamErr)
+		}
+	}
+	return s, nil
+}
+
+func (r *remoteEngine) Close() error { return r.c.Close() }
+
 const replHelp = `commands:
   :explain <query>   compile the query and print its text plan
   :analyze <query>   execute the query and print the plan with counters
   :show              list declared relation variables
+  :health            durability / replication status of the session
   :help              this help
   :quit              exit
 anything else:
@@ -155,7 +305,7 @@ anything else:
 // repl reads commands, queries, and modules from stdin until EOF or :quit.
 // Each command runs under its own signal/timeout context, so Ctrl-C (or
 // -timeout) aborts the in-flight evaluation without ending the session.
-func repl(db *dbpl.DB, timeout time.Duration) {
+func repl(eng engine, timeout time.Duration) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 
@@ -177,7 +327,7 @@ func repl(db *dbpl.DB, timeout time.Duration) {
 		src := module.String()
 		module.Reset()
 		withCtx(func(ctx context.Context) error {
-			out, err := db.ExecContext(ctx, src)
+			out, err := eng.ExecContext(ctx, src)
 			fmt.Print(out)
 			return err
 		})
@@ -208,39 +358,53 @@ func repl(db *dbpl.DB, timeout time.Duration) {
 		case trimmed == ":help" || trimmed == ":h":
 			fmt.Println(replHelp)
 		case trimmed == ":show":
-			for _, name := range db.Store.Names() {
-				if rel, ok := db.Relation(name); ok {
-					fmt.Printf("%s: %d tuple(s)\n", name, rel.Len())
-				}
-			}
-		case strings.HasPrefix(trimmed, ":explain "):
 			withCtx(func(ctx context.Context) error {
-				plan, err := db.Explain(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":explain")))
+				vars, err := eng.Vars(ctx)
 				if err != nil {
 					return err
 				}
-				fmt.Print(plan.Text())
+				for _, v := range vars {
+					fmt.Printf("%s: %d tuple(s)\n", v.Name, v.Tuples)
+				}
+				return nil
+			})
+		case trimmed == ":health":
+			withCtx(func(ctx context.Context) error {
+				s, err := eng.HealthText(ctx)
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			})
+		case strings.HasPrefix(trimmed, ":explain "):
+			withCtx(func(ctx context.Context) error {
+				text, err := eng.ExplainText(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":explain")), false)
+				if err != nil {
+					return err
+				}
+				fmt.Print(text)
 				return nil
 			})
 		case strings.HasPrefix(trimmed, ":analyze "):
 			withCtx(func(ctx context.Context) error {
-				plan, err := db.ExplainQuery(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":analyze")))
+				text, err := eng.ExplainText(ctx, strings.TrimSpace(strings.TrimPrefix(trimmed, ":analyze")), true)
 				if err != nil {
 					return err
 				}
-				fmt.Print(plan.Text())
+				fmt.Print(text)
 				return nil
 			})
 		case strings.HasPrefix(trimmed, ":"):
 			fmt.Fprintf(os.Stderr, "unknown command %s (:help lists commands)\n", trimmed)
 		default:
 			withCtx(func(ctx context.Context) error {
-				rows, err := db.QueryContext(ctx, trimmed)
+				text, err := eng.QueryText(ctx, trimmed)
 				if err != nil {
 					return err
 				}
-				fmt.Println(rows.Relation().String())
-				return rows.Close()
+				fmt.Println(text)
+				return nil
 			})
 		}
 		prompt()

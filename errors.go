@@ -93,6 +93,34 @@ func (e *DegradedError) Unwrap() error { return e.Cause }
 // portable degraded-mode test.
 func (e *DegradedError) Is(target error) bool { return target == ErrReadOnly }
 
+// ErrLimit is the sentinel every resource-limit failure matches:
+// errors.Is(err, ErrLimit) is true exactly when an operation was refused
+// because a configured cap — open rows per session (WithMaxOpenRows), the
+// server's concurrent-session cap — would be exceeded. It is never returned
+// directly; failures carry a *LimitError naming the exhausted resource.
+var ErrLimit = errors.New("dbpl: resource limit exceeded")
+
+// LimitError reports an operation refused by a configured resource cap. The
+// operation did not consume anything: releasing held resources (closing a
+// Rows, ending a session) and retrying is valid.
+//
+// LimitError matches errors.Is(err, ErrLimit).
+type LimitError struct {
+	// Resource names the exhausted cap, e.g. "open rows" or "sessions".
+	Resource string
+	// Limit is the configured cap that would have been exceeded.
+	Limit int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dbpl: %s limit of %d exceeded", e.Resource, e.Limit)
+}
+
+// Is reports ErrLimit as a match, making errors.Is(err, ErrLimit) the
+// portable over-limit test.
+func (e *LimitError) Is(target error) bool { return target == ErrLimit }
+
 // ErrStmtClosed is returned by Stmt methods after Close.
 var ErrStmtClosed = errors.New("dbpl: statement closed")
 

@@ -103,6 +103,9 @@ type Database struct {
 	typs map[string]schema.RelationType
 	// logger, when set, receives every mutation before it is published.
 	logger Logger
+	// subs are the attached log subscribers (replication streams); they
+	// receive every committed batch after the logger has accepted it.
+	subs []*Subscription
 
 	// pathMu guards the lazily built physical access paths (section 4's
 	// "physical access path ... partitions [the relation] according to the
@@ -140,12 +143,101 @@ func (db *Database) Declare(name string, typ schema.RelationType) error {
 }
 
 // logLocked hands a batch to the attached logger (write-ahead: the caller
-// publishes only after it returns nil). Caller holds db.mu.
+// publishes only after it returns nil) and, once the logger has accepted it,
+// fans it out to the attached subscribers. Caller holds db.mu and publishes
+// unconditionally after a nil return, so a batch a subscriber receives is a
+// batch that becomes visible — the subscription stream is exactly the
+// committed mutation sequence.
 func (db *Database) logLocked(batch []Mutation) error {
-	if db.logger == nil {
-		return nil
+	if db.logger != nil {
+		if err := db.logger.Append(batch, db.saveLocked); err != nil {
+			return err
+		}
 	}
-	return db.logger.Append(batch, db.saveLocked)
+	db.notifyLocked(batch)
+	return nil
+}
+
+// Subscription is one attached consumer of the database's committed-mutation
+// stream (a replication feed). Batches arrive on C in commit order, starting
+// from the state captured at Subscribe time. A subscriber that falls behind
+// the channel's capacity is cut off — C is closed — rather than ever blocking
+// a writer; the consumer detects the close and re-subscribes, obtaining a
+// fresh base state (the same resync it needs after a dropped connection).
+type Subscription struct {
+	// C delivers committed mutation batches in commit order. It is closed
+	// when the subscription is cancelled or cut off for falling behind.
+	C <-chan []Mutation
+
+	db *Database
+	ch chan []Mutation
+}
+
+// Subscribe atomically captures the database's current state (written to w in
+// Save format) and attaches a subscription that will receive every mutation
+// batch committed after that state — no gap, no overlap. buf is the channel
+// capacity bounding how far the consumer may fall behind before it is cut
+// off; it must be at least 1.
+//
+// The capture runs under the database's write lock, so no mutation can land
+// between the state snapshot and the attachment.
+func (db *Database) Subscribe(w io.Writer, buf int) (*Subscription, error) {
+	if buf < 1 {
+		buf = 1
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.saveLocked(w); err != nil {
+		return nil, err
+	}
+	s := &Subscription{db: db, ch: make(chan []Mutation, buf)}
+	s.C = s.ch
+	db.subs = append(db.subs, s)
+	return s, nil
+}
+
+// Close detaches the subscription and closes its channel. It is safe to call
+// more than once, and safe concurrently with writers.
+func (s *Subscription) Close() {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	s.db.dropSubLocked(s)
+}
+
+// Subscribers reports the number of attached log subscribers (for tests and
+// monitoring).
+func (db *Database) Subscribers() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.subs)
+}
+
+// notifyLocked fans a committed batch out to the subscribers. A full channel
+// means the consumer is too far behind to ever see a contiguous stream again,
+// so it is cut off (channel closed, subscription dropped) instead of blocking
+// the writer. Caller holds db.mu.
+func (db *Database) notifyLocked(batch []Mutation) {
+	for i := 0; i < len(db.subs); {
+		s := db.subs[i]
+		select {
+		case s.ch <- batch:
+			i++
+		default:
+			db.dropSubLocked(s)
+		}
+	}
+}
+
+// dropSubLocked removes s from the subscriber list and closes its channel (at
+// most once). Caller holds db.mu.
+func (db *Database) dropSubLocked(s *Subscription) {
+	for i, cur := range db.subs {
+		if cur == s {
+			db.subs = append(db.subs[:i], db.subs[i+1:]...)
+			close(s.ch)
+			return
+		}
+	}
 }
 
 // SetLogger attaches (nil detaches) the write-ahead logger without logging

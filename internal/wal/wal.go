@@ -402,11 +402,11 @@ func replay(f fsx.File, db *store.Database) (records int, goodOff int64, err err
 		if crc32.Checksum(payload, crcTable) != sum {
 			return records, off, nil // corrupt payload
 		}
-		batch, err := decodeBatch(payload)
+		batch, err := DecodeBatch(payload)
 		if err != nil {
 			return records, off, &RecoveryError{Path: f.Name(), Record: records, Err: err}
 		}
-		if err := apply(db, batch); err != nil {
+		if err := Apply(db, batch); err != nil {
 			return records, off, &RecoveryError{Path: f.Name(), Record: records, Err: err}
 		}
 		records++
@@ -414,42 +414,100 @@ func replay(f fsx.File, db *store.Database) (records int, goodOff int64, err err
 	}
 }
 
-// apply replays one decoded batch against the recovering database. The
-// database has no logger attached during replay, so nothing is re-logged.
-func apply(db *store.Database, batch []store.Mutation) error {
+// Apply replays one decoded batch against db. Recovery uses it record by
+// record (the recovering database has no logger attached, so nothing is
+// re-logged), and replicas use it to apply batches tailed off a primary.
+//
+// A multi-mutation batch — a committed transaction's write set — is applied
+// atomically through an overlay transaction, so concurrent snapshot readers
+// (replica queries) observe either all of the batch or none of it, exactly as
+// readers on the primary did.
+func Apply(db *store.Database, batch []store.Mutation) error {
+	if len(batch) > 1 && onlyAssigns(batch) {
+		return applyTx(db, batch)
+	}
+	// Single mutations and (hypothetical) mixed batches apply sequentially;
+	// the store never emits a multi-mutation batch that is not all-assign.
 	for _, m := range batch {
-		switch m.Op {
-		case store.OpDeclare:
-			if err := db.Declare(m.Name, m.Type); err != nil {
-				return err
-			}
-		case store.OpAssign:
-			typ, ok := db.Type(m.Name)
-			if !ok {
-				return fmt.Errorf("assign to undeclared variable %q", m.Name)
-			}
-			rel := relation.New(typ)
-			for _, t := range m.Tuples {
-				if err := rel.Insert(t); err != nil {
-					return err
-				}
-			}
-			if err := db.Assign(m.Name, rel); err != nil {
-				return err
-			}
-		case store.OpInsert:
-			if err := db.Insert(m.Name, m.Tuples...); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown mutation op %d", m.Op)
+		if err := applyOne(db, m); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// encodeBatch serializes one mutation batch into a record payload.
-func encodeBatch(batch []store.Mutation) ([]byte, error) {
+// onlyAssigns reports whether every mutation in the batch is an OpAssign (the
+// only multi-mutation batch shape the store emits: a transaction commit).
+func onlyAssigns(batch []store.Mutation) bool {
+	for _, m := range batch {
+		if m.Op != store.OpAssign {
+			return false
+		}
+	}
+	return true
+}
+
+// applyTx applies an all-assign batch atomically via an overlay transaction.
+func applyTx(db *store.Database, batch []store.Mutation) error {
+	tx := db.Begin()
+	defer func() {
+		if !tx.Done() {
+			tx.Rollback()
+		}
+	}()
+	for _, m := range batch {
+		rel, err := rebuild(db, m)
+		if err != nil {
+			return err
+		}
+		if err := tx.Assign(m.Name, rel); err != nil {
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// rebuild reconstructs an OpAssign mutation's relation value against the
+// variable's declared type.
+func rebuild(db *store.Database, m store.Mutation) (*relation.Relation, error) {
+	if m.Rel != nil {
+		return m.Rel, nil
+	}
+	typ, ok := db.Type(m.Name)
+	if !ok {
+		return nil, fmt.Errorf("assign to undeclared variable %q", m.Name)
+	}
+	rel := relation.New(typ)
+	for _, t := range m.Tuples {
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// applyOne applies a single mutation directly.
+func applyOne(db *store.Database, m store.Mutation) error {
+	switch m.Op {
+	case store.OpDeclare:
+		return db.Declare(m.Name, m.Type)
+	case store.OpAssign:
+		rel, err := rebuild(db, m)
+		if err != nil {
+			return err
+		}
+		return db.Assign(m.Name, rel)
+	case store.OpInsert:
+		return db.Insert(m.Name, m.Tuples...)
+	default:
+		return fmt.Errorf("unknown mutation op %d", m.Op)
+	}
+}
+
+// EncodeBatch serializes one mutation batch into a record payload — the same
+// encoding Append frames into the log, exposed so the replication stream
+// ships batches in the log's own format.
+func EncodeBatch(batch []store.Mutation) ([]byte, error) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
 	if err := store.WriteUvarint(w, uint64(len(batch))); err != nil {
@@ -502,9 +560,10 @@ func encodeBatch(batch []store.Mutation) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decodeBatch parses a record payload. Assign batches come back with Tuples
-// populated (apply rebuilds the relation against the declared type).
-func decodeBatch(payload []byte) ([]store.Mutation, error) {
+// DecodeBatch parses a record payload produced by EncodeBatch. Assign
+// mutations come back with Tuples populated (Apply rebuilds the relation
+// against the declared type).
+func DecodeBatch(payload []byte) ([]store.Mutation, error) {
 	r := bufio.NewReader(bytes.NewReader(payload))
 	count, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -602,7 +661,7 @@ func (l *Log) Append(batch []store.Mutation, state func(io.Writer) error) error 
 			l.rotateAt = l.n + l.every
 		}
 	}
-	payload, err := encodeBatch(batch)
+	payload, err := EncodeBatch(batch)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	dbpl "repro"
+)
+
+// RemoteError is a failure reported by the peer over the wire. Code is one of
+// the Code* constants; Is maps the codes back onto the session API's sentinel
+// errors, so errors.Is(err, dbpl.ErrReadOnly), errors.Is(err, dbpl.ErrLimit),
+// errors.Is(err, dbpl.ErrClosed), etc. hold against a remote database exactly
+// as against an embedded one.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Is maps wire error codes onto the session sentinels.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Code {
+	case CodeReadOnly:
+		return target == dbpl.ErrReadOnly
+	case CodeLimit:
+		return target == dbpl.ErrLimit
+	case CodeClosed:
+		return target == dbpl.ErrClosed
+	case CodeTxDone:
+		return target == dbpl.ErrTxDone
+	case CodeStmtClosed:
+		return target == dbpl.ErrStmtClosed
+	}
+	return false
+}
+
+// AsRemote converts a TErr payload into a *RemoteError.
+func AsRemote(payload []byte) error {
+	code, msg, err := DecodeErr(payload)
+	if err != nil {
+		return fmt.Errorf("wire: malformed error frame: %w", err)
+	}
+	return &RemoteError{Code: code, Msg: msg}
+}
+
+// ClientHello performs the client side of the opening handshake on a fresh
+// connection: it sends THello (magic, version, token) and waits for the
+// TServerHello, returning the server's announced role ("primary" or
+// "replica"). A TErr response comes back as a *RemoteError.
+func ClientHello(w io.Writer, r io.Reader, token string) (role string, err error) {
+	e := NewEnc()
+	e.Str(ProtoMagic)
+	e.Uvarint(ProtoVersion)
+	e.Str(token)
+	payload, err := e.Payload()
+	if err != nil {
+		return "", err
+	}
+	if err := WriteFrame(w, THello, payload); err != nil {
+		return "", err
+	}
+	typ, resp, err := ReadFrame(r)
+	if err != nil {
+		return "", fmt.Errorf("wire: handshake: %w", err)
+	}
+	switch typ {
+	case TServerHello:
+		d := NewDec(resp)
+		return d.Str()
+	case TErr:
+		return "", AsRemote(resp)
+	default:
+		return "", fmt.Errorf("wire: handshake: unexpected frame type %d", typ)
+	}
+}

@@ -28,6 +28,7 @@ type config struct {
 	strict        bool
 	maxRounds     int
 	planCacheSize int
+	maxOpenRows   int
 	storeReader   io.Reader
 	// passNames selects the optimizer pass pipeline; nil means the default
 	// pipeline (flatten, pushdown, magic, nest).
@@ -87,6 +88,15 @@ func WithMaxRounds(n int) Option {
 // plans consulted by Query/QueryContext/Explain; 0 disables caching.
 func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCacheSize = n }
+}
+
+// WithMaxOpenRows caps the number of concurrently open *Rows cursors on the
+// session: a Query that would exceed the cap fails with a *LimitError
+// (matching errors.Is(err, ErrLimit)) instead of accumulating unbounded
+// snapshot state. Closing a cursor (explicitly or by exhausting it) frees its
+// slot. 0, the default, means no cap.
+func WithMaxOpenRows(n int) Option {
+	return func(c *config) { c.maxOpenRows = n }
 }
 
 // WithStoreReader loads the initial relation variables from a Save-format

@@ -27,18 +27,22 @@ type Rows struct {
 	cur    value.Tuple
 	err    error
 	closed bool
+	// release frees the cursor's open-rows slot (WithMaxOpenRows); called
+	// exactly once, by the first Close. Nil when the session is uncapped.
+	release func()
 }
 
 // newRows wraps an already evaluated result relation. ctx is the query's
 // context; iteration stops (and Err reports the cause) once it is canceled.
-func newRows(ctx context.Context, rel *relation.Relation) *Rows {
+// release, if non-nil, is called exactly once when the cursor closes.
+func newRows(ctx context.Context, rel *relation.Relation, release func()) *Rows {
 	next, stop := iter.Pull(rel.All())
 	elem := rel.Type().Element
 	cols := make([]string, len(elem.Attrs))
 	for i, a := range elem.Attrs {
 		cols[i] = a.Name
 	}
-	return &Rows{rel: rel, ctx: ctx, cols: cols, next: next, stop: stop}
+	return &Rows{rel: rel, ctx: ctx, cols: cols, next: next, stop: stop, release: release}
 }
 
 // Columns returns the attribute names of the result relation.
@@ -163,6 +167,9 @@ func (r *Rows) Close() error {
 		r.closed = true
 		r.cur = nil
 		r.stop()
+		if r.release != nil {
+			r.release()
+		}
 	}
 	return nil
 }

@@ -66,6 +66,12 @@ type DB struct {
 
 	plans *planCache
 
+	// maxOpenRows caps concurrently open Rows cursors (WithMaxOpenRows);
+	// 0 means uncapped. openRows is the current count, guarded by rowsMu.
+	maxOpenRows int
+	rowsMu      sync.Mutex
+	openRows    int
+
 	// wal is the write-ahead log of a durable database (Open with WithPath);
 	// nil for a memory-only one. It is attached to the store as its logger,
 	// so every mutation path — module DDL, Insert, Assign, LoadStore, Tx
@@ -95,13 +101,14 @@ func Open(opts ...Option) (*DB, error) {
 	env := eval.NewEnv()
 	reg := core.NewRegistry()
 	d := &DB{
-		Store:      store.NewDatabase(),
-		Checker:    typecheck.New(),
-		Registry:   reg,
-		env:        env,
-		Strict:     cfg.strict,
-		plans:      newPlanCache(cfg.planCacheSize),
-		noOptimize: cfg.noOptimize,
+		Store:       store.NewDatabase(),
+		Checker:     typecheck.New(),
+		Registry:    reg,
+		env:         env,
+		Strict:      cfg.strict,
+		plans:       newPlanCache(cfg.planCacheSize),
+		noOptimize:  cfg.noOptimize,
+		maxOpenRows: cfg.maxOpenRows,
 	}
 	if cfg.path != "" {
 		wlog, st, err := wal.Open(cfg.path, wal.Options{
@@ -171,6 +178,14 @@ func (d *DB) store() *store.Database {
 	return d.Store
 }
 
+// StoreSnapshot returns the current relation-variable store under the
+// session lock. Infrastructure that runs concurrently with LoadStore (the
+// network server, a replica's health reporting) must use this instead of
+// reading the Store field directly, which races with the swap.
+func (d *DB) StoreSnapshot() *store.Database {
+	return d.store()
+}
+
 // SetMode selects the fixpoint strategy for constructor evaluation.
 func (d *DB) SetMode(m Mode) {
 	d.execMu.Lock()
@@ -207,6 +222,31 @@ func (d *DB) recordStatsSince(en *core.Engine, before uint64) {
 	d.statsMu.Lock()
 	d.lastStats = en.LastStats
 	d.statsMu.Unlock()
+}
+
+// acquireRows claims one open-cursor slot against the WithMaxOpenRows cap,
+// returning the release the cursor calls exactly once on Close. With no cap
+// configured it costs one mutex round-trip and never fails.
+func (d *DB) acquireRows() (release func(), err error) {
+	d.rowsMu.Lock()
+	defer d.rowsMu.Unlock()
+	if d.maxOpenRows > 0 && d.openRows >= d.maxOpenRows {
+		return nil, &LimitError{Resource: "open rows", Limit: d.maxOpenRows}
+	}
+	d.openRows++
+	return func() {
+		d.rowsMu.Lock()
+		d.openRows--
+		d.rowsMu.Unlock()
+	}, nil
+}
+
+// OpenRows reports the number of currently open Rows cursors (for tests and
+// monitoring).
+func (d *DB) OpenRows() int {
+	d.rowsMu.Lock()
+	defer d.rowsMu.Unlock()
+	return d.openRows
 }
 
 // Checkpoint forces a snapshot checkpoint of a durable database: the current

@@ -172,13 +172,19 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Relation, error) {
 	return rel, nil
 }
 
-// QueryRows is Query with a streaming row cursor over the result.
+// QueryRows is Query with a streaming row cursor over the result. The cursor
+// counts against the session's WithMaxOpenRows cap until it is closed.
 func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
-	rel, err := s.exec(ctx, args, nil)
+	release, err := s.db.acquireRows()
 	if err != nil {
 		return nil, err
 	}
-	return newRows(ctx, rel), nil
+	rel, err := s.exec(ctx, args, nil)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return newRows(ctx, rel, release), nil
 }
 
 // execStats collects per-execution counters for EXPLAIN ANALYZE.

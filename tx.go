@@ -174,13 +174,19 @@ func (t *Tx) Query(ctx context.Context, src string, args ...any) (*Relation, err
 	return st.execWith(ctx, env, en, args, nil)
 }
 
-// QueryRows is Query with a streaming row cursor over the result.
+// QueryRows is Query with a streaming row cursor over the result. The cursor
+// counts against the session's WithMaxOpenRows cap until it is closed.
 func (t *Tx) QueryRows(ctx context.Context, src string, args ...any) (*Rows, error) {
-	rel, err := t.Query(ctx, src, args...)
+	release, err := t.db.acquireRows()
 	if err != nil {
 		return nil, err
 	}
-	return newRows(ctx, rel), nil
+	rel, err := t.Query(ctx, src, args...)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return newRows(ctx, rel, release), nil
 }
 
 // Relation returns a variable's value as seen by the transaction.
