@@ -444,6 +444,8 @@ type Health struct {
 	Applied   uint64
 	Connected bool
 	StreamErr string
+	// Parallelism is the server executor's worker fan-out (dbpld -parallel).
+	Parallelism uint64
 }
 
 // Health asks the server for its health report.

@@ -71,6 +71,7 @@ func main() {
 	syncMode := flag.String("sync", "always", "fsync policy for -path: always (machine-crash safe) or never (process-crash safe)")
 	connect := flag.String("connect", "", "run against a dbpld server at this address instead of an embedded database")
 	token := flag.String("token", "", "auth token for -connect")
+	parallel := flag.Int("parallel", 0, "executor worker fan-out per query (embedded mode; 0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	interactive := *replFlag || flag.NArg() == 0
@@ -138,7 +139,7 @@ func main() {
 		if *naive {
 			mode = dbpl.Naive
 		}
-		opts := []dbpl.Option{dbpl.WithStrict(!*lax), dbpl.WithMode(mode)}
+		opts := []dbpl.Option{dbpl.WithStrict(!*lax), dbpl.WithMode(mode), dbpl.WithParallelism(*parallel)}
 		if *path != "" {
 			sp := dbpl.SyncAlways
 			switch *syncMode {
@@ -225,7 +226,8 @@ func (l *localEngine) Vars(context.Context) ([]client.VarInfo, error) {
 
 func (l *localEngine) HealthText(context.Context) (string, error) {
 	h := l.db.Health()
-	s := fmt.Sprintf("embedded: durable=%v degraded=%v generation=%d tail=%d", h.Durable, h.Degraded, h.Generation, h.TailRecords)
+	s := fmt.Sprintf("embedded: durable=%v degraded=%v generation=%d tail=%d parallelism=%d",
+		h.Durable, h.Degraded, h.Generation, h.TailRecords, l.db.Parallelism())
 	if h.Cause != nil {
 		s += fmt.Sprintf(" cause=%q", h.Cause)
 	}
@@ -276,7 +278,8 @@ func (r *remoteEngine) HealthText(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s := fmt.Sprintf("%s: durable=%v degraded=%v generation=%d tail=%d", h.Role, h.Durable, h.Degraded, h.Generation, h.Tail)
+	s := fmt.Sprintf("%s: durable=%v degraded=%v generation=%d tail=%d parallelism=%d",
+		h.Role, h.Durable, h.Degraded, h.Generation, h.Tail, h.Parallelism)
 	if h.Cause != "" {
 		s += fmt.Sprintf(" cause=%q", h.Cause)
 	}

@@ -43,6 +43,7 @@ func main() {
 	maxOpenRows := flag.Int("max-open-rows", 0, "cap on open cursors per session (0 = unlimited)")
 	replica := flag.Bool("replica", false, "serve as a read replica tailing -primary")
 	primary := flag.String("primary", "", "primary address to replicate from (with -replica)")
+	parallel := flag.Int("parallel", 0, "executor worker fan-out per query (0 = all CPUs, 1 = serial)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for open work")
 	quiet := flag.Bool("quiet", false, "suppress connection-level diagnostics")
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 		}
 		opts = append(opts, dbpl.WithPath(*path), dbpl.WithSync(sp))
 	}
+	opts = append(opts, dbpl.WithParallelism(*parallel))
 	db, err := dbpl.Open(opts...)
 	if err != nil {
 		logger.Fatalf("dbpld: opening database: %v", err)

@@ -50,8 +50,15 @@ func (s *Stmt) ExplainQuery(ctx context.Context, args ...any) (*Plan, error) {
 	p := s.Plan()
 	p.Analyze = &ExecInfo{
 		Rows:             rel.Len(),
-		PartitionLookups: ex.paths.PartitionLookups,
-		Scans:            ex.paths.Scans,
+		PartitionLookups: int(ex.paths.PartitionLookups.Load()),
+		Scans:            int(ex.paths.Scans.Load()),
+		Parallelism:      s.db.Parallelism(),
+	}
+	for _, op := range ex.exec.Ops() {
+		p.Analyze.Operators = append(p.Analyze.Operators, OperatorStat{
+			Op: op.Op, RowsIn: op.RowsIn, RowsOut: op.RowsOut,
+			Batches: op.Batches, Workers: op.Workers,
+		})
 	}
 	if ex.engine != (core.Stats{}) {
 		p.Analyze.Mode = ex.engine.Mode.String()

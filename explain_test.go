@@ -255,6 +255,43 @@ func TestExplainAnalyze(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeOperators pins the per-operator executor counters for an
+// equi-join set expression: the 3-tuple outer scan, the hash join that
+// matches 2 of them, and the project/dedup tail.
+func TestExplainAnalyzeOperators(t *testing.T) {
+	db := openWith(t, cadModule)
+	p, err := db.ExplainQuery(context.Background(),
+		`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dbpl.OperatorStat{
+		{Op: "scan(f)", RowsIn: 3, RowsOut: 3, Batches: 1, Workers: 1},
+		{Op: "hash-join(b)", RowsIn: 3, RowsOut: 2, Batches: 1, Workers: 1},
+		{Op: "project", RowsIn: 2, RowsOut: 2, Batches: 1, Workers: 1},
+		{Op: "dedup", RowsIn: 2, RowsOut: 2, Workers: 1},
+	}
+	got := p.Analyze.Operators
+	if len(got) != len(want) {
+		t.Fatalf("got %d operators %+v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("operator %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if p.Analyze.Parallelism < 1 {
+		t.Errorf("parallelism=%d, want >= 1", p.Analyze.Parallelism)
+	}
+	// The rendered plan carries the same counters.
+	text := p.Text()
+	for _, line := range []string{"op:      scan(f)", "op:      hash-join(b)", "op:      dedup"} {
+		if !strings.Contains(text, line) {
+			t.Errorf("plan text missing %q:\n%s", line, text)
+		}
+	}
+}
+
 // TestOptimizedEquivalence runs every example workload's queries under the
 // default pipeline and under WithoutOptimization and requires identical
 // relations — the pass pipeline and the access paths must be pure

@@ -15,6 +15,8 @@ package accesspath
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -116,6 +118,66 @@ func BuildPhysicalAt(base *relation.Relation, pos int) (*Physical, error) {
 		return true
 	})
 	return p, nil
+}
+
+// BuildPhysicalAtParallel is BuildPhysicalAt with the partition build sharded
+// by attribute value across up to workers goroutines: each worker owns the
+// values hashing into its shard, so the per-value partition maps are disjoint
+// and merge without locking or re-keying. Small bases (or workers <= 1) fall
+// back to the serial build; the result is identical either way.
+func BuildPhysicalAtParallel(base *relation.Relation, pos, workers int) (*Physical, error) {
+	const minTuplesPerWorker = 2048
+	if cap := base.Len() / minTuplesPerWorker; workers > cap {
+		workers = cap
+	}
+	if workers <= 1 {
+		return BuildPhysicalAt(base, pos)
+	}
+	elem := base.Type().Element
+	if pos < 0 || pos >= elem.Arity() {
+		return nil, fmt.Errorf("accesspath: relation %s has no attribute position %d", base.Type().Name, pos)
+	}
+	p := &Physical{
+		base: base, attrPos: pos, attrName: elem.Attrs[pos].Name,
+		partitions: make(map[value.Value]*relation.Relation),
+	}
+	tuples := base.Slice()
+	shards := make([]map[value.Value]*relation.Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[value.Value]*relation.Relation)
+			for _, t := range tuples {
+				k := t[pos]
+				if shardOf(k, workers) != w {
+					continue
+				}
+				part, ok := local[k]
+				if !ok {
+					part = relation.New(base.Type())
+					local[k] = part
+				}
+				part.Add(t)
+			}
+			shards[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, local := range shards {
+		for k, part := range local {
+			p.partitions[k] = part
+		}
+	}
+	return p, nil
+}
+
+// shardOf assigns a partition value to a worker shard.
+func shardOf(v value.Value, workers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(value.Tuple{v}.Key()))
+	return int(h.Sum32()) % workers
 }
 
 func (p *Physical) add(t value.Tuple) {

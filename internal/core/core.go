@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -142,12 +143,35 @@ type Engine struct {
 	// MaxRounds bounds iterations of non-monotonic systems; 0 means a
 	// large default.
 	MaxRounds int
-	// LastStats records the most recent top-level Apply. Its zero value is a
+	// Parallelism bounds the worker fan-out of fixpoint rounds: when the
+	// grounded system has more than one instance, up to Parallelism equations
+	// are evaluated concurrently per round. 0 or 1 keeps rounds serial.
+	// (Intra-equation parallelism is governed separately by the eval.Env.)
+	Parallelism int
+	// Applies counts completed top-level Apply calls on this engine. It is
+	// atomic because engines are shared across concurrent queries.
+	Applies atomic.Uint64
+
+	statsMu sync.Mutex
+	// lastStats records the most recent top-level Apply. Its zero value is a
 	// legitimate outcome, so "did anything run" is answered by Applies, not
 	// by comparing LastStats against Stats{}.
-	LastStats Stats
-	// Applies counts completed top-level Apply calls on this engine.
-	Applies uint64
+	lastStats Stats
+}
+
+// LastStats returns the stats of the most recent completed top-level Apply.
+func (en *Engine) LastStats() Stats {
+	en.statsMu.Lock()
+	defer en.statsMu.Unlock()
+	return en.lastStats
+}
+
+// SetLastStats overwrites the recorded stats. It exists for embedders and
+// tests that simulate an Apply; ApplyContext calls it internally.
+func (en *Engine) SetLastStats(s Stats) {
+	en.statsMu.Lock()
+	en.lastStats = s
+	en.statsMu.Unlock()
 }
 
 // NewEngine creates an engine over a registry and global environment and
@@ -191,7 +215,7 @@ func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.
 	if maxRounds == 0 {
 		maxRounds = 1 << 20
 	}
-	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono, Ctx: ctx}
+	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono, Ctx: ctx, Parallelism: en.Parallelism}
 
 	var state []*relation.Relation
 	var fstats fixpoint.Stats
@@ -204,15 +228,15 @@ func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.
 		return nil, fmt.Errorf("constructor %s: %w", name, err)
 	}
 	root := sys.byKey[rootKey]
-	en.Applies++
-	en.LastStats = Stats{
+	en.Applies.Add(1)
+	en.SetLastStats(Stats{
 		Mode:        mode,
 		Instances:   len(sys.instances),
 		Rounds:      fstats.Rounds,
 		Evaluations: fstats.Evaluations,
 		Tuples:      state[root.index].Len(),
 		MaxDelta:    fstats.MaxDeltaSize,
-	}
+	})
 	return state[root.index], nil
 }
 
@@ -552,13 +576,13 @@ func (s *system) EvalIncrement(i int, cur, delta []*relation.Relation) (*relatio
 					continue
 				}
 				s.bindState(inst, cur, map[string]*relation.Relation{marker: delta[ref.index]})
-				if err := inst.env.EvalBranchInto(br, out); err != nil {
+				if err := inst.env.EvalBranchIntoExcluding(br, out, cur[i]); err != nil {
 					return nil, err
 				}
 			}
 		default:
 			s.bindState(inst, cur, nil)
-			if err := inst.env.EvalBranchInto(br, out); err != nil {
+			if err := inst.env.EvalBranchIntoExcluding(br, out, cur[i]); err != nil {
 				return nil, err
 			}
 		}

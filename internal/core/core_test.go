@@ -105,8 +105,8 @@ func TestAheadTransitiveClosure(t *testing.T) {
 		if !got.Equal(want) {
 			t.Errorf("%s: got %s, want %s", mode, got, want)
 		}
-		if en.LastStats.Instances != 1 {
-			t.Errorf("%s: expected 1 instance, got %d", mode, en.LastStats.Instances)
+		if en.LastStats().Instances != 1 {
+			t.Errorf("%s: expected 1 instance, got %d", mode, en.LastStats().Instances)
 		}
 	}
 }
@@ -183,8 +183,8 @@ END above;`
 		if !above.Contains(value.NewTuple(value.Str("vase"), value.Str("chair"))) {
 			t.Errorf("%s: above missing <vase, chair>: %s", mode, above)
 		}
-		if en.LastStats.Instances != 2 {
-			t.Errorf("%s: expected joint system of 2 instances, got %d", mode, en.LastStats.Instances)
+		if en.LastStats().Instances != 2 {
+			t.Errorf("%s: expected joint system of 2 instances, got %d", mode, en.LastStats().Instances)
 		}
 	}
 }
@@ -260,8 +260,8 @@ END strange;`
 	if !got.Equal(want) {
 		t.Errorf("strange limit: got %s, want %s", got, want)
 	}
-	if en.LastStats.Mode != Naive {
-		t.Errorf("non-positive constructor must run naive, got %s", en.LastStats.Mode)
+	if en.LastStats().Mode != Naive {
+		t.Errorf("non-positive constructor must run naive, got %s", en.LastStats().Mode)
 	}
 }
 

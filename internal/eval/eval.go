@@ -16,6 +16,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/relation"
@@ -49,14 +50,16 @@ type PathProvider interface {
 }
 
 // PathStats counts access-path decisions during one evaluation, surfaced by
-// EXPLAIN ANALYZE.
+// EXPLAIN ANALYZE. The counters are atomic because executor workers may apply
+// selectors concurrently while sharing one PathStats through cloned
+// environments.
 type PathStats struct {
 	// PartitionLookups counts selector applications answered from a hash
 	// partition instead of a full scan.
-	PartitionLookups int
+	PartitionLookups atomic.Int64
 	// Scans counts selector applications that fell back to scanning the base
 	// relation.
-	Scans int
+	Scans atomic.Int64
 }
 
 // Env is the evaluation environment: relation variables (including formal
@@ -82,6 +85,17 @@ type Env struct {
 	// iteration. A nil Ctx means "never cancelled".
 	Ctx context.Context
 
+	// Parallelism is the executor's worker budget for partitioned pipelines
+	// (outer-relation partitioning of joins, selector filters, and index
+	// builds). 0 or 1 runs everything on the calling goroutine.
+	Parallelism int
+	// ParallelMinRows is the outer-cardinality threshold below which a
+	// pipeline stays serial; 0 means DefaultParallelMinRows.
+	ParallelMinRows int
+	// ExecStats, when non-nil, receives per-operator executor counters,
+	// surfaced by EXPLAIN ANALYZE.
+	ExecStats *ExecStats
+
 	// rangeMemo caches materialized ranges within one evaluation so that
 	// quantifier ranges inside loops are not re-materialized per tuple.
 	rangeMemo map[*ast.Range]*relation.Relation
@@ -104,14 +118,17 @@ func NewEnv() *Env {
 // relation binding map, for scoped re-binding.
 func (e *Env) Clone() *Env {
 	c := &Env{
-		Rels:         make(map[string]*relation.Relation, len(e.Rels)),
-		Scalars:      make(map[string]value.Value, len(e.Scalars)),
-		RelTypes:     e.RelTypes,
-		Selectors:    e.Selectors,
-		Constructors: e.Constructors,
-		Paths:        e.Paths,
-		PathStats:    e.PathStats,
-		Ctx:          e.Ctx,
+		Rels:            make(map[string]*relation.Relation, len(e.Rels)),
+		Scalars:         make(map[string]value.Value, len(e.Scalars)),
+		RelTypes:        e.RelTypes,
+		Selectors:       e.Selectors,
+		Constructors:    e.Constructors,
+		Paths:           e.Paths,
+		PathStats:       e.PathStats,
+		Ctx:             e.Ctx,
+		Parallelism:     e.Parallelism,
+		ParallelMinRows: e.ParallelMinRows,
+		ExecStats:       e.ExecStats,
 	}
 	for k, v := range e.Rels {
 		c.Rels[k] = v
@@ -366,36 +383,27 @@ func (e *Env) applySelector(base *relation.Relation, s *ast.Suffix) (*relation.R
 				if part, okPart := e.Paths.Partition(base, pos, args[0].Scalar); okPart {
 					iterBase = part
 					if e.PathStats != nil {
-						e.PathStats.PartitionLookups++
+						e.PathStats.PartitionLookups.Add(1)
 					}
 				}
 			}
 		}
 	}
 	if iterBase == base && e.PathStats != nil {
-		e.PathStats.Scans++
+		e.PathStats.Scans.Add(1)
 	}
-	var b bindings
-	var iterErr error
-	iterBase.Each(func(t value.Tuple) bool {
-		if err := scoped.cancelled(); err != nil {
-			iterErr = err
-			return false
-		}
-		b.push(decl.BodyVar, t, elem)
-		keep, err := scoped.Pred(decl.Where, &b)
-		b.pop()
-		if err != nil {
-			iterErr = err
-			return false
-		}
-		if keep {
-			out.Add(t)
-		}
-		return true
-	})
-	if iterErr != nil {
-		return nil, iterErr
+	err = scoped.filterRelationInto(iterBase, out, "select["+s.Name+"]",
+		func(env *Env) func(value.Tuple) (bool, error) {
+			var b bindings
+			return func(t value.Tuple) (bool, error) {
+				b.push(decl.BodyVar, t, elem)
+				keep, err := env.Pred(decl.Where, &b)
+				b.pop()
+				return keep, err
+			}
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -430,10 +438,22 @@ func (e *Env) SetExpr(s *ast.SetExpr, resultType *schema.RelationType) (*relatio
 // Exposed for the semi-naive fixpoint engine, which evaluates branches
 // individually against delta relations.
 func (e *Env) EvalBranchInto(br *ast.Branch, out *relation.Relation) error {
-	return e.branchInto(br, out)
+	return e.branchIntoExcluding(br, out, nil)
+}
+
+// EvalBranchIntoExcluding is EvalBranchInto, except that result tuples already
+// present in except are dropped on the executor workers, before the
+// single-threaded merge into out. The semi-naive engine passes its accumulated
+// state here so each round's merge cost is proportional to the true delta.
+func (e *Env) EvalBranchIntoExcluding(br *ast.Branch, out, except *relation.Relation) error {
+	return e.branchIntoExcluding(br, out, except)
 }
 
 func (e *Env) branchInto(br *ast.Branch, out *relation.Relation) error {
+	return e.branchIntoExcluding(br, out, nil)
+}
+
+func (e *Env) branchIntoExcluding(br *ast.Branch, out, except *relation.Relation) error {
 	if br.Literal != nil {
 		tup := make(value.Tuple, len(br.Literal))
 		for i, tm := range br.Literal {
@@ -465,8 +485,7 @@ func (e *Env) branchInto(br *ast.Branch, out *relation.Relation) error {
 		return err
 	}
 
-	var b bindings
-	return e.runPlan(br, plan, rels, 0, &b, out)
+	return e.runBranchPipeline(br, plan, rels, out, except)
 }
 
 // branchPlan holds per-binding probe and residual scheduling decisions.
@@ -620,7 +639,7 @@ func (e *Env) planBranch(br *ast.Branch, rels []*relation.Relation) (*branchPlan
 		plan.probeFields[i] = okFields
 		plan.probeTerms[i] = okTerms
 		if len(positions) > 0 {
-			plan.indexes[i] = relation.BuildIndex(rels[i], positions)
+			plan.indexes[i] = relation.BuildIndexParallel(rels[i], positions, e.buildWorkers())
 		}
 	}
 	return plan, nil
@@ -648,93 +667,6 @@ func tryProbe(plan *branchPlan, varPos map[string]int, lhs, rhs ast.Term) bool {
 	plan.probeTerms[i] = append(plan.probeTerms[i], rhs)
 	plan.probeFields[i] = append(plan.probeFields[i], f)
 	return true
-}
-
-func (e *Env) runPlan(br *ast.Branch, plan *branchPlan, rels []*relation.Relation,
-	i int, b *bindings, out *relation.Relation) error {
-
-	if i == len(br.Binds) {
-		return e.emit(br, b, out)
-	}
-	elem := rels[i].Type().Element
-
-	iter := func(t value.Tuple) error {
-		if err := e.cancelled(); err != nil {
-			return err
-		}
-		b.push(br.Binds[i].Var, t, elem)
-		defer b.pop()
-		for _, res := range plan.residuals[i] {
-			ok, err := e.Pred(res, b)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		return e.runPlan(br, plan, rels, i+1, b, out)
-	}
-
-	if plan.indexes[i] != nil {
-		key := make(value.Tuple, len(plan.probeTerms[i]))
-		for k, tm := range plan.probeTerms[i] {
-			v, err := e.Term(tm, b)
-			if err != nil {
-				return err
-			}
-			// A probe against an attribute of a different kind is the
-			// dynamic form of a type error, not an empty result.
-			attr := elem.IndexOf(plan.probeFields[i][k].Attr)
-			if attr >= 0 && elem.Attrs[attr].Type.Kind != v.Kind() {
-				return fmt.Errorf("%s: comparison of %s attribute %q with %s value",
-					plan.probeFields[i][k].Pos, elem.Attrs[attr].Type.Kind,
-					plan.probeFields[i][k].Attr, v.Kind())
-			}
-			key[k] = v
-		}
-		for _, t := range plan.indexes[i].Probe(key) {
-			if err := iter(t); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var iterErr error
-	rels[i].Each(func(t value.Tuple) bool {
-		if err := iter(t); err != nil {
-			iterErr = err
-			return false
-		}
-		return true
-	})
-	return iterErr
-}
-
-func (e *Env) emit(br *ast.Branch, b *bindings, out *relation.Relation) error {
-	var tup value.Tuple
-	if br.Target == nil {
-		t, _, ok := b.lookup(br.Binds[0].Var)
-		if !ok {
-			return fmt.Errorf("%s: unbound branch variable %q", br.Pos, br.Binds[0].Var)
-		}
-		tup = t
-	} else {
-		tup = make(value.Tuple, len(br.Target))
-		for i, tm := range br.Target {
-			v, err := e.Term(tm, b)
-			if err != nil {
-				return err
-			}
-			tup[i] = v
-		}
-	}
-	if len(tup) != out.Type().Element.Arity() {
-		return fmt.Errorf("%s: branch yields arity %d, result type has arity %d",
-			br.Pos, len(tup), out.Type().Element.Arity())
-	}
-	return out.Insert(tup)
 }
 
 // ---------------------------------------------------------------------------

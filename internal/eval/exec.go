@@ -1,0 +1,852 @@
+// Volcano-style streaming executor for branch evaluation. A branch
+//
+//	EACH x1 IN R1, ..., EACH xn IN Rn : P  ->  <target>
+//
+// compiles into a pipeline of small Open/Next/Close operators —
+// scan → filter → hash-join/loop-join → filter → ... → project — exchanging
+// batches of at most BatchSize binding rows so per-tuple interface dispatch
+// and allocation stay off the hot path. The final dedup stage is the
+// set-semantics sink: a Relation on the materializing path, a seen-set on the
+// streaming path (stream.go).
+//
+// Large pipelines additionally fan out: the outer (first) binding's tuples are
+// partitioned into contiguous chunks and each chunk runs the whole pipeline on
+// its own worker goroutine over a cloned environment, probing the shared
+// read-only hash indexes. Workers precompute each result tuple's key encodings
+// (relation.Keyed), so the single-threaded merge that preserves set semantics
+// is reduced to map inserts; merging in partition order keeps error selection
+// and result sets deterministic. Every worker loop polls the environment's
+// context, so QueryContext cancellation reaches into partitioned execution.
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// BatchSize is the number of rows handed between operators per Next call.
+const BatchSize = 256
+
+// DefaultParallelMinRows is the outer-relation cardinality below which a
+// pipeline stays on the calling goroutine regardless of Env.Parallelism:
+// goroutine and merge overhead dominate tiny inputs.
+const DefaultParallelMinRows = 1024
+
+// execRow is a partial binding: one tuple per bound variable, in binding
+// order. Rows are immutable once emitted by an operator (extensions copy).
+type execRow []value.Tuple
+
+// OpStat is one operator's counters from an evaluation, surfaced through
+// EXPLAIN ANALYZE. Counters aggregate over every pipeline the evaluation ran
+// (each fixpoint round re-runs the constructor body's pipelines).
+type OpStat struct {
+	// Op labels the operator and its binding variable, e.g. "hash-join(b)".
+	Op string
+	// RowsIn and RowsOut count binding rows crossing the operator.
+	RowsIn, RowsOut int64
+	// Batches counts non-empty output batches.
+	Batches int64
+	// Workers is the largest worker count the operator ran with.
+	Workers int
+}
+
+// ExecStats aggregates per-operator counters across one evaluation. It is
+// shared by pointer between the environment and its worker clones and is safe
+// for concurrent use.
+type ExecStats struct {
+	mu    sync.Mutex
+	order []string
+	m     map[string]*OpStat
+}
+
+// Record merges one operator run into the aggregate.
+func (s *ExecStats) Record(op string, rowsIn, rowsOut, batches int64, workers int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*OpStat)
+	}
+	st, ok := s.m[op]
+	if !ok {
+		st = &OpStat{Op: op}
+		s.m[op] = st
+		s.order = append(s.order, op)
+	}
+	st.RowsIn += rowsIn
+	st.RowsOut += rowsOut
+	st.Batches += batches
+	if workers > st.Workers {
+		st.Workers = workers
+	}
+}
+
+// Ops returns the aggregated operator stats in first-recorded order.
+func (s *ExecStats) Ops() []OpStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OpStat, 0, len(s.order))
+	for _, op := range s.order {
+		out = append(out, *s.m[op])
+	}
+	return out
+}
+
+// opCounters are one operator instance's local counters, flushed into the
+// shared ExecStats when its pipeline finishes.
+type opCounters struct {
+	label                    string
+	rowsIn, rowsOut, batches int64
+}
+
+// operator produces batches of binding rows. next returns (nil, nil) at end of
+// stream. Operators are single-goroutine; parallelism wraps whole pipelines.
+type operator interface {
+	open() error
+	next() ([]execRow, error)
+	close()
+	counters() *opCounters
+}
+
+// tupleOp is the pipeline tail: projected result tuples with precomputed key
+// encodings, ready for a set-semantics sink.
+type tupleOp interface {
+	open() error
+	next() ([]relation.Keyed, error)
+	close()
+}
+
+// rowBinder adapts an execRow to the bindings interface the predicate/term
+// evaluators expect. The buffers leave slack beyond the binding prefix so
+// quantifier push/pop inside predicates does not allocate.
+type rowBinder struct {
+	vars  []string
+	types []schema.RecordType
+	b     bindings
+
+	varBuf  []string
+	typeBuf []schema.RecordType
+	tupBuf  []value.Tuple
+}
+
+func newRowBinder(binds []ast.Binding, rels []*relation.Relation) *rowBinder {
+	n := len(binds)
+	rb := &rowBinder{
+		vars:    make([]string, n),
+		types:   make([]schema.RecordType, n),
+		varBuf:  make([]string, n+8),
+		typeBuf: make([]schema.RecordType, n+8),
+		tupBuf:  make([]value.Tuple, n+8),
+	}
+	for i := range binds {
+		rb.vars[i] = binds[i].Var
+		rb.types[i] = rels[i].Type().Element
+	}
+	return rb
+}
+
+func (rb *rowBinder) bind(row execRow) *bindings {
+	k := len(row)
+	copy(rb.varBuf, rb.vars[:k])
+	copy(rb.typeBuf, rb.types[:k])
+	copy(rb.tupBuf, row)
+	rb.b.vars = rb.varBuf[:k]
+	rb.b.types = rb.typeBuf[:k]
+	rb.b.tups = rb.tupBuf[:k]
+	return &rb.b
+}
+
+// pipeCtx is the per-pipeline evaluation context shared by its operators: the
+// (worker-local) environment and the reusable row binder.
+type pipeCtx struct {
+	env    *Env
+	binder *rowBinder
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+// scanOp produces single-binding rows from a tuple slice (one partition of the
+// outer relation).
+type scanOp struct {
+	pc     *pipeCtx
+	tuples []value.Tuple
+	pos    int
+	c      opCounters
+}
+
+func (o *scanOp) open() error           { o.pos = 0; return nil }
+func (o *scanOp) close()                {}
+func (o *scanOp) counters() *opCounters { return &o.c }
+
+func (o *scanOp) next() ([]execRow, error) {
+	if o.pos >= len(o.tuples) {
+		return nil, nil
+	}
+	n := min(BatchSize, len(o.tuples)-o.pos)
+	arena := make([]value.Tuple, n)
+	batch := make([]execRow, n)
+	for i := 0; i < n; i++ {
+		if err := o.pc.env.cancelled(); err != nil {
+			return nil, err
+		}
+		arena[i] = o.tuples[o.pos+i]
+		batch[i] = arena[i : i+1 : i+1]
+	}
+	o.pos += n
+	o.c.rowsIn += int64(n)
+	o.c.rowsOut += int64(n)
+	o.c.batches++
+	return batch, nil
+}
+
+// filterOp drops rows failing any of its predicates (the residual conjuncts
+// scheduled at one binding position).
+type filterOp struct {
+	pc    *pipeCtx
+	in    operator
+	preds []ast.Pred
+	c     opCounters
+}
+
+func (o *filterOp) open() error           { return o.in.open() }
+func (o *filterOp) close()                { o.in.close() }
+func (o *filterOp) counters() *opCounters { return &o.c }
+
+func (o *filterOp) next() ([]execRow, error) {
+	for {
+		batch, err := o.in.next()
+		if err != nil || batch == nil {
+			return nil, err
+		}
+		o.c.rowsIn += int64(len(batch))
+		kept := batch[:0]
+		for _, row := range batch {
+			b := o.pc.binder.bind(row)
+			keep := true
+			for _, p := range o.preds {
+				ok, err := o.pc.env.Pred(p, b)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		if len(kept) > 0 {
+			o.c.rowsOut += int64(len(kept))
+			o.c.batches++
+			return kept, nil
+		}
+	}
+}
+
+// hashJoinOp extends each input row with the matching tuples of one binding's
+// relation, probed through a shared read-only hash index on the equi-join key.
+type hashJoinOp struct {
+	pc     *pipeCtx
+	in     operator
+	idx    *relation.Index
+	terms  []ast.Term
+	fields []ast.Field
+	elem   schema.RecordType
+	c      opCounters
+
+	inBatch []execRow
+	inPos   int
+	key     value.Tuple
+	arena   []value.Tuple
+}
+
+func (o *hashJoinOp) open() error {
+	o.inBatch, o.inPos = nil, 0
+	o.key = make(value.Tuple, len(o.terms))
+	return o.in.open()
+}
+func (o *hashJoinOp) close()                { o.in.close() }
+func (o *hashJoinOp) counters() *opCounters { return &o.c }
+
+func (o *hashJoinOp) probeKey(row execRow) (value.Tuple, error) {
+	b := o.pc.binder.bind(row)
+	for k, tm := range o.terms {
+		v, err := o.pc.env.Term(tm, b)
+		if err != nil {
+			return nil, err
+		}
+		// A probe against an attribute of a different kind is the dynamic form
+		// of a type error, not an empty result.
+		attr := o.elem.IndexOf(o.fields[k].Attr)
+		if attr >= 0 && o.elem.Attrs[attr].Type.Kind != v.Kind() {
+			return nil, fmt.Errorf("%s: comparison of %s attribute %q with %s value",
+				o.fields[k].Pos, o.elem.Attrs[attr].Type.Kind,
+				o.fields[k].Attr, v.Kind())
+		}
+		o.key[k] = v
+	}
+	return o.key, nil
+}
+
+// extend appends row+t into the operator's arena, so row extension costs one
+// allocation per ~BatchSize rows instead of one per row.
+func (o *hashJoinOp) extend(row execRow, t value.Tuple) execRow {
+	width := len(row) + 1
+	if cap(o.arena)-len(o.arena) < width {
+		o.arena = make([]value.Tuple, 0, BatchSize*width)
+	}
+	start := len(o.arena)
+	o.arena = append(o.arena, row...)
+	o.arena = append(o.arena, t)
+	return o.arena[start:len(o.arena):len(o.arena)]
+}
+
+func (o *hashJoinOp) next() ([]execRow, error) {
+	var out []execRow
+	for {
+		if o.inBatch == nil {
+			batch, err := o.in.next()
+			if err != nil {
+				return nil, err
+			}
+			if batch == nil {
+				if len(out) > 0 {
+					o.c.rowsOut += int64(len(out))
+					o.c.batches++
+					return out, nil
+				}
+				return nil, nil
+			}
+			o.inBatch, o.inPos = batch, 0
+			o.c.rowsIn += int64(len(batch))
+		}
+		for o.inPos < len(o.inBatch) {
+			row := o.inBatch[o.inPos]
+			o.inPos++
+			if err := o.pc.env.cancelled(); err != nil {
+				return nil, err
+			}
+			key, err := o.probeKey(row)
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range o.idx.Probe(key) {
+				out = append(out, o.extend(row, t))
+			}
+			if len(out) >= BatchSize {
+				o.c.rowsOut += int64(len(out))
+				o.c.batches++
+				return out, nil
+			}
+		}
+		o.inBatch = nil
+	}
+}
+
+// loopJoinOp is the nested-loop fallback when no equi-join conjunct indexes a
+// binding: every input row is extended with every tuple of the relation.
+type loopJoinOp struct {
+	pc     *pipeCtx
+	in     operator
+	tuples []value.Tuple
+	c      opCounters
+
+	inBatch []execRow
+	inPos   int
+	tupPos  int
+	arena   []value.Tuple
+}
+
+func (o *loopJoinOp) open() error {
+	o.inBatch, o.inPos, o.tupPos = nil, 0, 0
+	return o.in.open()
+}
+func (o *loopJoinOp) close()                { o.in.close() }
+func (o *loopJoinOp) counters() *opCounters { return &o.c }
+
+func (o *loopJoinOp) extend(row execRow, t value.Tuple) execRow {
+	width := len(row) + 1
+	if cap(o.arena)-len(o.arena) < width {
+		o.arena = make([]value.Tuple, 0, BatchSize*width)
+	}
+	start := len(o.arena)
+	o.arena = append(o.arena, row...)
+	o.arena = append(o.arena, t)
+	return o.arena[start:len(o.arena):len(o.arena)]
+}
+
+func (o *loopJoinOp) next() ([]execRow, error) {
+	var out []execRow
+	for {
+		if o.inBatch == nil {
+			batch, err := o.in.next()
+			if err != nil {
+				return nil, err
+			}
+			if batch == nil {
+				if len(out) > 0 {
+					o.c.rowsOut += int64(len(out))
+					o.c.batches++
+					return out, nil
+				}
+				return nil, nil
+			}
+			o.inBatch, o.inPos, o.tupPos = batch, 0, 0
+			o.c.rowsIn += int64(len(batch))
+		}
+		for o.inPos < len(o.inBatch) {
+			row := o.inBatch[o.inPos]
+			for o.tupPos < len(o.tuples) {
+				if err := o.pc.env.cancelled(); err != nil {
+					return nil, err
+				}
+				out = append(out, o.extend(row, o.tuples[o.tupPos]))
+				o.tupPos++
+				if len(out) >= BatchSize {
+					o.c.rowsOut += int64(len(out))
+					o.c.batches++
+					return out, nil
+				}
+			}
+			o.tupPos = 0
+			o.inPos++
+		}
+		o.inBatch = nil
+	}
+}
+
+// projectOp evaluates the branch target over each full binding row, validates
+// arity and element domain (the checks Relation.Insert would otherwise make),
+// precomputes the result tuple's key encodings, and optionally drops tuples
+// already present in an exclusion set (the semi-naive engine's accumulated
+// state), so the downstream merge touches only genuinely new work.
+type projectOp struct {
+	pc     *pipeCtx
+	in     operator
+	br     *ast.Branch
+	rt     schema.RelationType
+	proto  *relation.Relation
+	except *relation.Relation
+	c      opCounters
+}
+
+func (o *projectOp) open() error { return o.in.open() }
+func (o *projectOp) close()      { o.in.close() }
+
+func (o *projectOp) next() ([]relation.Keyed, error) {
+	for {
+		batch, err := o.in.next()
+		if err != nil || batch == nil {
+			return nil, err
+		}
+		o.c.rowsIn += int64(len(batch))
+		out := make([]relation.Keyed, 0, len(batch))
+		arity := o.rt.Element.Arity()
+		for _, row := range batch {
+			var tup value.Tuple
+			if o.br.Target == nil {
+				tup = row[0]
+			} else {
+				tup = make(value.Tuple, len(o.br.Target))
+				b := o.pc.binder.bind(row)
+				for i, tm := range o.br.Target {
+					v, err := o.pc.env.Term(tm, b)
+					if err != nil {
+						return nil, err
+					}
+					tup[i] = v
+				}
+			}
+			if len(tup) != arity {
+				return nil, fmt.Errorf("%s: branch yields arity %d, result type has arity %d",
+					o.br.Pos, len(tup), arity)
+			}
+			if !o.rt.Element.Contains(tup) {
+				return nil, fmt.Errorf("relation %s: tuple %s violates element type %s",
+					o.rt.Name, tup, o.rt.Element)
+			}
+			kd := o.proto.KeyedOf(tup)
+			if o.except != nil && o.except.ContainsKeyed(kd) {
+				continue
+			}
+			out = append(out, kd)
+		}
+		if len(out) > 0 {
+			o.c.rowsOut += int64(len(out))
+			o.c.batches++
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline construction and drivers
+// ---------------------------------------------------------------------------
+
+// buildBranchPipeline assembles scan → [filter] → (join → [filter])* → project
+// over one partition of the outer relation's tuples. It returns the pipeline
+// tail and the operator counters in pipeline order for post-run aggregation.
+func (e *Env) buildBranchPipeline(br *ast.Branch, plan *branchPlan, rels []*relation.Relation,
+	outer []value.Tuple, except, out *relation.Relation) (tupleOp, []*opCounters) {
+
+	pc := &pipeCtx{env: e, binder: newRowBinder(br.Binds, rels)}
+	var counters []*opCounters
+
+	var cur operator = &scanOp{pc: pc, tuples: outer,
+		c: opCounters{label: "scan(" + br.Binds[0].Var + ")"}}
+	counters = append(counters, cur.counters())
+	if len(plan.residuals[0]) > 0 {
+		cur = &filterOp{pc: pc, in: cur, preds: plan.residuals[0],
+			c: opCounters{label: "filter(" + br.Binds[0].Var + ")"}}
+		counters = append(counters, cur.counters())
+	}
+	for i := 1; i < len(br.Binds); i++ {
+		v := br.Binds[i].Var
+		if plan.indexes[i] != nil {
+			cur = &hashJoinOp{pc: pc, in: cur, idx: plan.indexes[i],
+				terms: plan.probeTerms[i], fields: plan.probeFields[i],
+				elem: rels[i].Type().Element,
+				c:    opCounters{label: "hash-join(" + v + ")"}}
+		} else {
+			cur = &loopJoinOp{pc: pc, in: cur, tuples: rels[i].Slice(),
+				c: opCounters{label: "loop-join(" + v + ")"}}
+		}
+		counters = append(counters, cur.counters())
+		if len(plan.residuals[i]) > 0 {
+			cur = &filterOp{pc: pc, in: cur, preds: plan.residuals[i],
+				c: opCounters{label: "filter(" + v + ")"}}
+			counters = append(counters, cur.counters())
+		}
+	}
+	proj := &projectOp{pc: pc, in: cur, br: br, rt: out.Type(), proto: out, except: except,
+		c: opCounters{label: "project"}}
+	counters = append(counters, &proj.c)
+	return proj, counters
+}
+
+// drainPipe runs a pipeline to completion, handing each batch to sink.
+func drainPipe(p tupleOp, sink func([]relation.Keyed) error) error {
+	if err := p.open(); err != nil {
+		p.close()
+		return err
+	}
+	defer p.close()
+	for {
+		batch, err := p.next()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return nil
+		}
+		if err := sink(batch); err != nil {
+			return err
+		}
+	}
+}
+
+// workersFor sizes the worker pool for a pipeline whose outer partition holds
+// n tuples: Env.Parallelism capped so each worker gets at least half the
+// parallel threshold, and 1 below the threshold.
+func (e *Env) workersFor(n int) int {
+	p := e.Parallelism
+	if p <= 1 {
+		return 1
+	}
+	minRows := e.ParallelMinRows
+	if minRows <= 0 {
+		minRows = DefaultParallelMinRows
+	}
+	if n < minRows {
+		return 1
+	}
+	if maxW := n * 2 / minRows; p > maxW {
+		p = maxW
+	}
+	if p < 2 {
+		return 1
+	}
+	return p
+}
+
+// buildWorkers sizes the pool for index/partition builds over n tuples.
+func (e *Env) buildWorkers() int {
+	if e.Parallelism <= 1 {
+		return 1
+	}
+	return e.Parallelism
+}
+
+// cloneForWorker clones the environment for a pipeline worker: it adopts the
+// group's cancellable context, keeps already-materialized ranges (read-only
+// within the evaluation), and runs nested work serially so fan-out stays
+// bounded by the top-level pool.
+func (e *Env) cloneForWorker(ctx context.Context) *Env {
+	c := e.Clone()
+	c.Ctx = ctx
+	c.Parallelism = 1
+	if e.rangeMemo != nil {
+		c.rangeMemo = make(map[*ast.Range]*relation.Relation, len(e.rangeMemo))
+		for k, v := range e.rangeMemo {
+			c.rangeMemo[k] = v
+		}
+	}
+	return c
+}
+
+// splitChunks partitions tuples into at most n contiguous chunks.
+func splitChunks(tuples []value.Tuple, n int) [][]value.Tuple {
+	chunks := make([][]value.Tuple, 0, n)
+	size := (len(tuples) + n - 1) / n
+	for lo := 0; lo < len(tuples); lo += size {
+		chunks = append(chunks, tuples[lo:min(lo+size, len(tuples))])
+	}
+	return chunks
+}
+
+// flushCounters folds one pipeline's operator counters into the shared stats.
+func flushCounters(stats *ExecStats, sets [][]*opCounters, workers int) {
+	if stats == nil {
+		return
+	}
+	agg := make(map[string]*OpStat)
+	var order []string
+	for _, set := range sets {
+		for _, c := range set {
+			st, ok := agg[c.label]
+			if !ok {
+				st = &OpStat{Op: c.label}
+				agg[c.label] = st
+				order = append(order, c.label)
+			}
+			st.RowsIn += c.rowsIn
+			st.RowsOut += c.rowsOut
+			st.Batches += c.batches
+		}
+	}
+	for _, label := range order {
+		st := agg[label]
+		stats.Record(label, st.RowsIn, st.RowsOut, st.Batches, workers)
+	}
+}
+
+// outerTuples resolves the first binding's scan set. When planBranch
+// registered an index probe on binding 0, its key terms are closed (constants
+// and parameters only — tryProbe admits no variables there), so the key is
+// evaluated once and the scan shrinks to the matching hash bucket; the
+// kind-mismatch check mirrors the join probe's dynamic type error.
+func (e *Env) outerTuples(plan *branchPlan, rels []*relation.Relation) ([]value.Tuple, error) {
+	if plan.indexes[0] == nil {
+		return rels[0].Slice(), nil
+	}
+	elem := rels[0].Type().Element
+	key := make(value.Tuple, len(plan.probeTerms[0]))
+	for k, tm := range plan.probeTerms[0] {
+		v, err := e.Term(tm, nil)
+		if err != nil {
+			return nil, err
+		}
+		f := plan.probeFields[0][k]
+		attr := elem.IndexOf(f.Attr)
+		if attr >= 0 && elem.Attrs[attr].Type.Kind != v.Kind() {
+			return nil, fmt.Errorf("%s: comparison of %s attribute %q with %s value",
+				f.Pos, elem.Attrs[attr].Type.Kind, f.Attr, v.Kind())
+		}
+		key[k] = v
+	}
+	return plan.indexes[0].Probe(key), nil
+}
+
+// runBranchPipeline executes a planned branch into out, excluding tuples
+// already in except (which may be nil). With an effective worker count of 1
+// the pipeline runs on the calling goroutine; otherwise the outer relation is
+// partitioned across workers and their outputs merge in partition order.
+func (e *Env) runBranchPipeline(br *ast.Branch, plan *branchPlan, rels []*relation.Relation,
+	out, except *relation.Relation) error {
+
+	outer, err := e.outerTuples(plan, rels)
+	if err != nil {
+		return err
+	}
+	workers := e.workersFor(len(outer))
+
+	if workers <= 1 {
+		pipe, counters := e.buildBranchPipeline(br, plan, rels, outer, except, out)
+		before := out.Len()
+		var emitted int64
+		err := drainPipe(pipe, func(batch []relation.Keyed) error {
+			for _, kd := range batch {
+				emitted++
+				if err := out.InsertKeyed(kd); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		flushCounters(e.ExecStats, [][]*opCounters{counters}, 1)
+		e.ExecStats.Record("dedup", emitted, int64(out.Len()-before), 0, 1)
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(e.Context())
+	defer cancel()
+	chunks := splitChunks(outer, workers)
+	results := make([][]relation.Keyed, len(chunks))
+	errs := make([]error, len(chunks))
+	counterSets := make([][]*opCounters, len(chunks))
+	var wg sync.WaitGroup
+	for w := range chunks {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wenv := e.cloneForWorker(ctx)
+			pipe, counters := wenv.buildBranchPipeline(br, plan, rels, chunks[w], except, out)
+			counterSets[w] = counters
+			errs[w] = drainPipe(pipe, func(batch []relation.Keyed) error {
+				results[w] = append(results[w], batch...)
+				return nil
+			})
+			if errs[w] != nil {
+				cancel() // fail fast: stop sibling workers
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Prefer a root-cause error over a sibling's induced cancellation; ties
+	// resolve in partition order, so error selection is deterministic.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil ||
+			(errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		flushCounters(e.ExecStats, counterSets, len(chunks))
+		return firstErr
+	}
+
+	before := out.Len()
+	var emitted int64
+	for _, acc := range results {
+		for _, kd := range acc {
+			emitted++
+			if err := out.InsertKeyed(kd); err != nil {
+				return err
+			}
+		}
+	}
+	flushCounters(e.ExecStats, counterSets, len(chunks))
+	e.ExecStats.Record("dedup", emitted, int64(out.Len()-before), 0, 1)
+	return nil
+}
+
+// filterRelationInto filters base into out, partitioning the scan across
+// workers for large bases. mkPred builds one predicate closure per worker so
+// each can reuse private binding scratch. It is the executor behind selector
+// application; label names the operator in ExecStats (e.g. "select[owner]").
+func (e *Env) filterRelationInto(base, out *relation.Relation, label string,
+	mkPred func(env *Env) func(value.Tuple) (bool, error)) error {
+
+	tuples := base.Slice()
+	workers := e.workersFor(len(tuples))
+
+	if workers <= 1 {
+		pred := mkPred(e)
+		kept := int64(0)
+		for _, t := range tuples {
+			if err := e.cancelled(); err != nil {
+				return err
+			}
+			ok, err := pred(t)
+			if err != nil {
+				return err
+			}
+			if ok {
+				kept++
+				if err := out.InsertKeyed(out.KeyedOf(t)); err != nil {
+					return err
+				}
+			}
+		}
+		e.ExecStats.Record(label, int64(len(tuples)), kept, 0, 1)
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(e.Context())
+	defer cancel()
+	chunks := splitChunks(tuples, workers)
+	results := make([][]relation.Keyed, len(chunks))
+	errs := make([]error, len(chunks))
+	var wg sync.WaitGroup
+	for w := range chunks {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wenv := e.cloneForWorker(ctx)
+			pred := mkPred(wenv)
+			for _, t := range chunks[w] {
+				if err := wenv.cancelled(); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				ok, err := pred(t)
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				if ok {
+					results[w] = append(results[w], out.KeyedOf(t))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil ||
+			(errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	kept := int64(0)
+	for _, acc := range results {
+		for _, kd := range acc {
+			kept++
+			if err := out.InsertKeyed(kd); err != nil {
+				return err
+			}
+		}
+	}
+	e.ExecStats.Record(label, int64(len(tuples)), kept, 0, len(chunks))
+	return nil
+}

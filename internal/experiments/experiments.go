@@ -160,7 +160,7 @@ func RunE2(sizes []int) ([]E2Row, error) {
 				return nil, err
 			}
 			row.NaiveTime = time.Since(t0)
-			row.NaiveRounds = enN.LastStats.Rounds
+			row.NaiveRounds = enN.LastStats().Rounds
 
 			enS, _, _, err := AheadEngine(core.SemiNaive)
 			if err != nil {
@@ -172,7 +172,7 @@ func RunE2(sizes []int) ([]E2Row, error) {
 				return nil, err
 			}
 			row.SemiTime = time.Since(t0)
-			row.SemiRounds = enS.LastStats.Rounds
+			row.SemiRounds = enS.LastStats().Rounds
 			if !resN.Equal(resS) {
 				return nil, fmt.Errorf("E2: naive and semi-naive disagree on %s n=%d", shape, n)
 			}
@@ -569,6 +569,6 @@ END m.
 		return err
 	}
 	fmt.Fprintf(w, "  strange on {0..6} converges (naive, %d rounds) to %s  [paper: {0,2,4,6}]\n",
-		en2.LastStats.Rounds, res)
+		en2.LastStats().Rounds, res)
 	return nil
 }

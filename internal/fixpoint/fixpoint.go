@@ -24,6 +24,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/relation"
 	"repro/internal/value"
@@ -57,6 +58,53 @@ type Options struct {
 	// Ctx, when non-nil, is checked between rounds so that runaway
 	// iterations can be cancelled; the iteration returns ctx.Err().
 	Ctx context.Context
+	// Parallelism bounds concurrent equation evaluations within a round;
+	// 0 or 1 evaluates equations serially. Rounds themselves are always a
+	// barrier: round k+1 starts only after every equation of round k is done,
+	// so results are identical to serial iteration (set semantics).
+	Parallelism int
+}
+
+// evalEach runs f(i) for every equation index in [0, n), fanning out across
+// min(n, Parallelism) workers when parallelism is enabled. f must write its
+// result only to per-index slots. The returned error is the lowest-index
+// failure so that parallel runs report the same error a serial sweep would.
+func (o Options) evalEach(n int, f func(i int) error) error {
+	workers := o.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // cancelled returns the context error, if any, at a round boundary.
@@ -132,22 +180,27 @@ func Naive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) {
 		}
 		stats.Rounds++
 		next := make([]*relation.Relation, n)
-		changed := false
-		for i := 0; i < n; i++ {
+		if err := opts.evalEach(n, func(i int) error {
 			out, err := ev.EvalFull(i, cur)
 			if err != nil {
-				return nil, stats, err
+				return err
 			}
-			stats.Evaluations++
-			if !out.Equal(cur[i]) {
+			next[i] = out
+			return nil
+		}); err != nil {
+			return nil, stats, err
+		}
+		stats.Evaluations += n
+		changed := false
+		for i := 0; i < n; i++ {
+			if !next[i].Equal(cur[i]) {
 				changed = true
-				if !opts.AllowNonMonotonic && cur[i].Difference(out).Len() > 0 {
+				if !opts.AllowNonMonotonic && cur[i].Difference(next[i]).Len() > 0 {
 					// Some previously derived tuple vanished: g is not
 					// monotonic although it was declared to be.
 					return nil, stats, &NonMonotonicError{Equation: i, Round: stats.Rounds}
 				}
 			}
-			next[i] = out
 		}
 		if !changed {
 			stats.TuplesFinal = totalLen(cur)
@@ -179,16 +232,21 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 		return nil, stats, err
 	}
 	stats.Rounds++
-	for i := 0; i < n; i++ {
+	if err := opts.evalEach(n, func(i int) error {
 		out, err := ev.EvalFull(i, empty)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
-		stats.Evaluations++
 		cur[i] = out
 		delta[i] = out.Clone()
-		if out.Len() > stats.MaxDeltaSize {
-			stats.MaxDeltaSize = out.Len()
+		return nil
+	}); err != nil {
+		return nil, stats, err
+	}
+	stats.Evaluations += n
+	for i := 0; i < n; i++ {
+		if cur[i].Len() > stats.MaxDeltaSize {
+			stats.MaxDeltaSize = cur[i].Len()
 		}
 	}
 
@@ -212,14 +270,17 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 		}
 		stats.Rounds++
 		next := make([]*relation.Relation, n)
-		for i := 0; i < n; i++ {
+		if err := opts.evalEach(n, func(i int) error {
 			out, err := ev.EvalIncrement(i, cur, delta)
 			if err != nil {
-				return nil, stats, err
+				return err
 			}
-			stats.Evaluations++
 			next[i] = out.Difference(cur[i])
+			return nil
+		}); err != nil {
+			return nil, stats, err
 		}
+		stats.Evaluations += n
 		for i := 0; i < n; i++ {
 			cur[i].UnionInto(next[i])
 			delta[i] = next[i]

@@ -16,6 +16,7 @@ import (
 	"iter"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -192,6 +193,65 @@ func (r *Relation) All() iter.Seq[value.Tuple] {
 	}
 }
 
+// Slice returns all tuples in unspecified order. It is the cheap counterpart
+// of Tuples for callers that partition work over the tuple set (the parallel
+// executor) and do not need deterministic ordering.
+func (r *Relation) Slice() []value.Tuple {
+	out := make([]value.Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Keyed is a tuple carried together with its precomputed encodings: K is the
+// key-attribute encoding and W the whole-tuple encoding (W is "" when the key
+// covers all attributes, in which case K already encodes the whole tuple).
+// Precomputing the encodings on executor workers moves the expensive part of
+// an insert off the single-threaded merge path.
+type Keyed struct {
+	K string
+	W string
+	T value.Tuple
+}
+
+// KeyedOf encodes t for insertion into r (see Keyed).
+func (r *Relation) KeyedOf(t value.Tuple) Keyed {
+	if len(r.keyPos) == len(t) {
+		return Keyed{K: t.Key(), T: t}
+	}
+	return Keyed{K: t.Project(r.keyPos).Key(), W: t.Key(), T: t}
+}
+
+// InsertKeyed is Insert for a tuple whose encodings were precomputed with
+// KeyedOf against a relation of the same type. It does NOT re-check the
+// element type's domain predicate — the executor validates tuples when it
+// projects them, before handing them to the sink.
+func (r *Relation) InsertKeyed(kd Keyed) error {
+	if old, ok := r.tuples[kd.K]; ok {
+		if old.Equal(kd.T) {
+			return nil
+		}
+		return &KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: kd.T}
+	}
+	r.tuples[kd.K] = kd.T
+	if r.whole != nil {
+		r.whole[kd.W] = struct{}{}
+	}
+	return nil
+}
+
+// ContainsKeyed is Contains for a tuple whose encodings were precomputed with
+// KeyedOf against a relation of the same type.
+func (r *Relation) ContainsKeyed(kd Keyed) bool {
+	if r.whole != nil {
+		_, ok := r.whole[kd.W]
+		return ok
+	}
+	old, ok := r.tuples[kd.K]
+	return ok && old.Equal(kd.T)
+}
+
 // Tuples returns all tuples in deterministic (lexicographic) order.
 func (r *Relation) Tuples() []value.Tuple {
 	out := make([]value.Tuple, 0, len(r.tuples))
@@ -361,6 +421,55 @@ func BuildIndex(r *Relation, positions []int) *Index {
 		idx.buckets[k] = append(idx.buckets[k], t)
 		return true
 	})
+	return idx
+}
+
+// BuildIndexParallel indexes the relation on the given attribute positions
+// using up to workers goroutines. The expensive per-tuple key encoding is done
+// on chunk workers over disjoint slices of the relation; the merge only
+// concatenates bucket slices. With workers <= 1 (or a small relation) it falls
+// back to BuildIndex. The returned Index is identical in content to
+// BuildIndex's (bucket ordering within a key may differ, which no caller
+// observes — probes feed set-semantics sinks).
+func BuildIndexParallel(r *Relation, positions []int, workers int) *Index {
+	const minTuplesPerWorker = 2048
+	if workers > r.Len()/minTuplesPerWorker {
+		workers = r.Len() / minTuplesPerWorker
+	}
+	if workers <= 1 {
+		return BuildIndex(r, positions)
+	}
+	tuples := r.Slice()
+	parts := make([]map[string][]value.Tuple, workers)
+	var wg sync.WaitGroup
+	chunk := (len(tuples) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(tuples))
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[string][]value.Tuple, hi-lo)
+			for _, t := range tuples[lo:hi] {
+				k := t.Project(positions).Key()
+				m[k] = append(m[k], t)
+			}
+			parts[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	idx := &Index{positions: positions, buckets: parts[0]}
+	if idx.buckets == nil {
+		idx.buckets = make(map[string][]value.Tuple)
+	}
+	for _, m := range parts[1:] {
+		for k, ts := range m {
+			idx.buckets[k] = append(idx.buckets[k], ts...)
+		}
+	}
 	return idx
 }
 

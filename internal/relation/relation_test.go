@@ -230,3 +230,75 @@ func TestEachEarlyStop(t *testing.T) {
 		t.Errorf("Each early stop: visited %d", n)
 	}
 }
+
+func TestSliceUnordered(t *testing.T) {
+	r := MustFromTuples(binT, pair("a", "b"), pair("c", "d"), pair("e", "f"))
+	s := r.Slice()
+	if len(s) != 3 {
+		t.Fatalf("Slice len: %d", len(s))
+	}
+	for _, tup := range s {
+		if !r.Contains(tup) {
+			t.Errorf("Slice returned foreign tuple %s", tup)
+		}
+	}
+}
+
+func TestInsertKeyed(t *testing.T) {
+	r := New(binT)
+	kd := r.KeyedOf(pair("a", "b"))
+	if kd.W != "" || kd.K != pair("a", "b").Key() {
+		t.Fatalf("KeyedOf whole-key relation: %+v", kd)
+	}
+	if err := r.InsertKeyed(kd); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InsertKeyed(kd); err != nil { // duplicate is a no-op
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || !r.Contains(pair("a", "b")) {
+		t.Fatalf("after InsertKeyed: len=%d", r.Len())
+	}
+
+	k := New(keyedT)
+	row := func(id int64, v string) value.Tuple { return value.NewTuple(value.Int(id), value.Str(v)) }
+	kd1 := k.KeyedOf(row(1, "x"))
+	if kd1.W == "" {
+		t.Fatalf("KeyedOf proper-subset key must fill W")
+	}
+	if err := k.InsertKeyed(kd1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InsertKeyed(k.KeyedOf(row(1, "y"))); err == nil {
+		t.Fatal("key conflict not reported through InsertKeyed")
+	}
+	if !k.Contains(row(1, "x")) || k.Contains(row(1, "y")) {
+		t.Fatal("InsertKeyed broke Contains bookkeeping")
+	}
+}
+
+func TestBuildIndexParallelMatchesSerial(t *testing.T) {
+	r := New(binT)
+	for i := 0; i < 16064; i++ { // 64*251 distinct pairs, enough to engage workers
+		if err := r.Insert(pair(string(rune('a'+i%64)), string(rune('A'+i%251)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial := BuildIndex(r, []int{0})
+	par := BuildIndexParallel(r, []int{0}, 4)
+	if serial.Len() != par.Len() {
+		t.Fatalf("distinct keys: serial=%d parallel=%d", serial.Len(), par.Len())
+	}
+	for i := 0; i < 64; i++ {
+		key := value.NewTuple(value.Str(string(rune('a' + i))))
+		if len(serial.Probe(key)) != len(par.Probe(key)) {
+			t.Errorf("bucket %d: serial=%d parallel=%d", i,
+				len(serial.Probe(key)), len(par.Probe(key)))
+		}
+	}
+	// Tiny relations and workers<=1 take the serial path.
+	small := MustFromTuples(binT, pair("a", "b"))
+	if got := BuildIndexParallel(small, []int{0}, 8); got.Len() != 1 {
+		t.Errorf("small parallel build: %d", got.Len())
+	}
+}

@@ -699,11 +699,12 @@ func (s *session) handleExplain(d *wire.Dec) error {
 func (s *session) handleHealth() error {
 	dh := s.srv.db.Health()
 	h := wire.Health{
-		Role:       s.role(),
-		Durable:    dh.Durable,
-		Degraded:   dh.Degraded,
-		Generation: dh.Generation,
-		Tail:       uint64(dh.TailRecords),
+		Role:        s.role(),
+		Durable:     dh.Durable,
+		Degraded:    dh.Degraded,
+		Generation:  dh.Generation,
+		Tail:        uint64(dh.TailRecords),
+		Parallelism: uint64(s.srv.db.Parallelism()),
 	}
 	if dh.Cause != nil {
 		h.Cause = dh.Cause.Error()

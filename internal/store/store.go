@@ -113,7 +113,14 @@ type Database struct {
 	// attribute position.
 	pathMu sync.Mutex
 	paths  map[pathKey]*accesspath.Physical
+	// parallelism bounds the worker fan-out of physical path builds
+	// (SetParallelism); 0 or 1 builds serially.
+	parallelism int
 }
+
+// SetParallelism sets the worker fan-out for physical access-path builds.
+// Call before sharing the database across goroutines (session Open does).
+func (db *Database) SetParallelism(n int) { db.parallelism = n }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
@@ -426,7 +433,7 @@ func (db *Database) Partition(base *relation.Relation, pos int, v value.Value) (
 		// lookups on other relations. Two racing builders do redundant work
 		// once; last insert wins and both results are correct.
 		var err error
-		p, err = accesspath.BuildPhysicalAt(base, pos)
+		p, err = accesspath.BuildPhysicalAtParallel(base, pos, db.parallelism)
 		if err != nil {
 			return nil, false
 		}

@@ -274,6 +274,8 @@ type Health struct {
 	Applied   uint64
 	Connected bool
 	StreamErr string
+	// Parallelism is the server's executor worker fan-out (dbpld -parallel).
+	Parallelism uint64
 }
 
 // Encode builds a THealthInfo payload.
@@ -288,6 +290,7 @@ func (h Health) Encode() []byte {
 	e.Uvarint(h.Applied)
 	e.Bool(h.Connected)
 	e.Str(h.StreamErr)
+	e.Uvarint(h.Parallelism)
 	p, _ := e.Payload()
 	return p
 }
@@ -322,6 +325,9 @@ func DecodeHealth(payload []byte) (Health, error) {
 		return h, err
 	}
 	if h.StreamErr, err = d.Str(); err != nil {
+		return h, err
+	}
+	if h.Parallelism, err = d.Uvarint(); err != nil {
 		return h, err
 	}
 	return h, nil

@@ -2,8 +2,10 @@ package dbpl
 
 import (
 	"io"
+	"runtime"
 	"time"
 
+	"repro/internal/eval"
 	"repro/internal/fsx"
 	"repro/internal/wal"
 )
@@ -47,6 +49,12 @@ type config struct {
 	// the real one. Test-only (withFS): fault-injection harnesses plug in
 	// scriptable filesystems here.
 	fs fsx.FS
+	// parallelism bounds the executor's worker fan-out (WithParallelism);
+	// defaultConfig sets it to GOMAXPROCS(0).
+	parallelism int
+	// parallelMinRows is the smallest outer cardinality worth splitting
+	// across workers (WithParallelThreshold); 0 means the executor default.
+	parallelMinRows int
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
@@ -58,6 +66,7 @@ func defaultConfig() config {
 		mode:          SemiNaive,
 		strict:        true,
 		planCacheSize: DefaultPlanCacheSize,
+		parallelism:   runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -157,6 +166,36 @@ func WithCheckpointRetry(n int, backoff time.Duration) Option {
 // through it.
 func withFS(fs fsx.FS) Option {
 	return func(c *config) { c.fs = fs }
+}
+
+// WithParallelism bounds the worker fan-out of the streaming executor: large
+// hash-joins partition their outer side across up to n workers, and fixpoint
+// rounds over multi-instance equation systems evaluate up to n equations
+// concurrently. n = 1 forces fully serial evaluation (the pre-parallel
+// behavior); n <= 0 or omitting the option uses runtime.GOMAXPROCS(0).
+// Results are identical at every setting: relations are sets and worker
+// outputs merge in deterministic partition order.
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.parallelism = n
+	}
+}
+
+// WithParallelThreshold sets the smallest outer-loop cardinality the executor
+// considers worth splitting across workers; below it, evaluation stays serial
+// regardless of WithParallelism. The default is eval.DefaultParallelMinRows.
+// Mostly useful in tests and benchmarks that want parallel execution on small
+// relations (low n) or never (very large n).
+func WithParallelThreshold(rows int) Option {
+	return func(c *config) {
+		if rows <= 0 {
+			rows = eval.DefaultParallelMinRows
+		}
+		c.parallelMinRows = rows
+	}
 }
 
 // WithOptimizer selects the optimizer pass pipeline by name, in order. Pass

@@ -1,0 +1,158 @@
+package dbpl_test
+
+// Scaling benchmarks for the parallel streaming executor, run with
+// `go test -bench 'Parallel' -cpu 1,2,4,8`. BenchmarkParallelJoin measures
+// the partitioned hash join on self-join set expressions (the E2 join
+// workloads at 10k-100k tuples); BenchmarkParallelFixpoint measures
+// fan-out across fixpoint equations on the recursive closure workloads
+// (E2's ahead over a layered DAG, E8's BOM explode). Parallelism follows
+// GOMAXPROCS, so -cpu sweeps the worker budget. Every benchmark records a
+// row into BENCH_parallel.json (written by TestMain when benchmarks ran),
+// so CI can archive the scaling curve.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchRow is one (benchmark, GOMAXPROCS) measurement in BENCH_parallel.json.
+type benchRow struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"procs"`
+	Tuples  int     `json:"tuples"` // input relation size
+	Rows    int     `json:"rows"`   // result size (sanity anchor)
+	Iters   int     `json:"iters"`  // b.N
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+var (
+	benchMu   sync.Mutex
+	benchRows []benchRow
+)
+
+// recordBench captures a finished benchmark's timing for the JSON artifact.
+func recordBench(b *testing.B, tuples, rows int) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	benchRows = append(benchRows, benchRow{
+		Name:    b.Name(),
+		Procs:   runtime.GOMAXPROCS(0),
+		Tuples:  tuples,
+		Rows:    rows,
+		Iters:   b.N,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// TestMain writes BENCH_parallel.json after a run that executed any of the
+// parallel benchmarks; plain test runs leave no artifact behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchMu.Lock()
+	rows := benchRows
+	benchMu.Unlock()
+	if code == 0 && len(rows) > 0 {
+		if raw, err := json.MarshalIndent(rows, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_parallel.json", append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "BENCH_parallel.json:", err)
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkParallelJoin measures the partitioned hash self-join over chain
+// relations: every outer tuple probes the hash table built on the inner
+// side, so the partitioned outer scan is the dominant cost.
+func BenchmarkParallelJoin(b *testing.B) {
+	const joinQuery = `{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("chain-%dk", n/1000), func(b *testing.B) {
+			db := openWith(b, cadModule)
+			defer db.Close()
+			assignEdges(b, db, workload.Chain(n))
+			stmt, err := db.Prepare(joinQuery)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stmt.Close()
+			rows := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, err := stmt.Query(b.Context())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = rel.Len()
+			}
+			b.StopTimer()
+			if rows != n-1 {
+				b.Fatalf("join produced %d rows, want %d", rows, n-1)
+			}
+			recordBench(b, n, rows)
+		})
+	}
+}
+
+// BenchmarkParallelFixpoint measures worker fan-out across fixpoint rounds:
+// the recursive closure constructors re-evaluate their join bodies every
+// round, so both the per-round hash joins and the equation fan-out scale
+// with the worker budget.
+func BenchmarkParallelFixpoint(b *testing.B) {
+	b.Run("ahead-dag", func(b *testing.B) {
+		// 8 layers x 1500 nodes, out-degree 1: 10.5k edges whose closure
+		// stays linear in the input (at most 7 descendants per node).
+		edges := workload.RandomDAG(8, 1500, 1, 1985)
+		db := openWith(b, cadModule)
+		defer db.Close()
+		assignEdges(b, db, edges)
+		stmt, err := db.Prepare(`Infront{ahead}`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		rows := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel, err := stmt.Query(b.Context())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = rel.Len()
+		}
+		b.StopTimer()
+		recordBench(b, len(edges), rows)
+	})
+	b.Run("bom-explode", func(b *testing.B) {
+		// ~29k containment edges over 9 levels; explode derives the
+		// ancestor-descendant pairs (~100k rows).
+		bom := workload.NewBOM(9, 3, 42)
+		db := openWith(b, bomModule)
+		defer db.Close()
+		if err := db.Assign("Contains", bom.Contains); err != nil {
+			b.Fatal(err)
+		}
+		stmt, err := db.Prepare(`Contains{explode}`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		rows := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel, err := stmt.Query(b.Context())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = rel.Len()
+		}
+		b.StopTimer()
+		recordBench(b, bom.Contains.Len(), rows)
+	})
+}

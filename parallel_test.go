@@ -1,0 +1,256 @@
+package dbpl_test
+
+// Concurrency tests for the parallel streaming executor: serial/parallel
+// result equivalence, concurrent queries sharing one session's cached plans
+// and access paths, cancellation mid-join, Close racing in-flight parallel
+// queries, and goroutine accounting for abandoned streaming cursors. Run
+// with -race; the suite is sized so every scenario actually crosses the
+// parallel threshold.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	dbpl "repro"
+
+	"repro/internal/workload"
+)
+
+// parallelOpts forces the parallel executor path regardless of input size.
+func parallelOpts(workers int) []dbpl.Option {
+	return []dbpl.Option{dbpl.WithParallelism(workers), dbpl.WithParallelThreshold(1)}
+}
+
+// assignEdges publishes edges as the Infront base relation of cadModule.
+func assignEdges(t testing.TB, db *dbpl.DB, edges []workload.Edge) {
+	t.Helper()
+	inT := db.Checker.RelTypes["infrontrel"]
+	if err := db.Assign("Infront", workload.EdgesToRelation(inT, edges)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialParallelEquivalence runs every example workload's queries with
+// WithParallelism(1) and with a forced 4-worker fan-out and requires
+// identical result relations — partitioned hash joins and parallel fixpoint
+// rounds must be pure optimizations.
+func TestSerialParallelEquivalence(t *testing.T) {
+	bom := workload.NewBOM(6, 3, 42)
+	dag := workload.RandomDAG(6, 24, 2, 7)
+	cases := []struct {
+		name    string
+		module  string
+		setup   func(t *testing.T, db *dbpl.DB)
+		queries []string
+	}{
+		{
+			name:   "cad",
+			module: cadModule,
+			setup:  func(t *testing.T, db *dbpl.DB) { assignEdges(t, db, dag) },
+			queries: []string{
+				`Infront{ahead}`,
+				`Infront[hidden_by("n0012")]`,
+				fmt.Sprintf("Infront{ahead}[hidden_by(%q)]", workload.NodeName(12)),
+				`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`,
+				`{EACH v IN {EACH r IN Infront: r.front = "n0003"}: TRUE}`,
+			},
+		},
+		{
+			name:   "bom",
+			module: bomModule,
+			setup: func(t *testing.T, db *dbpl.DB) {
+				if err := db.Assign("Contains", bom.Contains); err != nil {
+					t.Fatal(err)
+				}
+			},
+			queries: []string{
+				`Contains{explode}`,
+				fmt.Sprintf("Contains{explode}[of_assembly(%q)]", bom.Root),
+				`Contains{invert}`,
+				fmt.Sprintf("Contains{invert}[uses_part(%q)]", bom.Root),
+			},
+		},
+		{
+			name:    "samegen",
+			module:  samegenModule,
+			queries: []string{`Parent{samegen}`, `{EACH sg IN Parent{samegen}: sg.left = "alice"}`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := openWith(t, tc.module, dbpl.WithParallelism(1))
+			parallel := openWith(t, tc.module, parallelOpts(4)...)
+			defer serial.Close()
+			defer parallel.Close()
+			if tc.setup != nil {
+				tc.setup(t, serial)
+				tc.setup(t, parallel)
+			}
+			for _, q := range tc.queries {
+				a, err := serial.Query(q)
+				if err != nil {
+					t.Fatalf("serial %s: %v", q, err)
+				}
+				b, err := parallel.Query(q)
+				if err != nil {
+					t.Fatalf("parallel %s: %v", q, err)
+				}
+				if !a.Equal(b) {
+					t.Errorf("%s: serial %d tuples != parallel %d tuples", q, a.Len(), b.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestParallelConcurrentQueries hammers one session from many goroutines:
+// every query shares the same cached plan and the same lazily built access
+// paths, while the executor fans each evaluation out across workers.
+func TestParallelConcurrentQueries(t *testing.T) {
+	db := openWith(t, cadModule, parallelOpts(4)...)
+	defer db.Close()
+	assignEdges(t, db, workload.Chain(512))
+
+	const joinQuery = `{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`
+	stmt, err := db.Prepare(`Infront[hidden_by(Obj)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				rel, err := db.Query(joinQuery)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rel.Len() != 511 {
+					errs <- fmt.Errorf("join returned %d tuples, want 511", rel.Len())
+					return
+				}
+				sel, err := stmt.Query(context.Background(), workload.NodeName((g*8+i)%512))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sel.Len() > 1 {
+					errs <- fmt.Errorf("selector returned %d tuples, want <= 1", sel.Len())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParallelCancellationMidJoin cancels a streaming parallel join after the
+// first tuple and checks that iteration stops with the cancellation reported
+// by Err, and that Close returns with all workers gone.
+func TestParallelCancellationMidJoin(t *testing.T) {
+	db := openWith(t, cadModule, parallelOpts(4)...)
+	defer db.Close()
+	assignEdges(t, db, workload.Chain(20000))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryContext(ctx,
+		`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first tuple before cancellation: %v", rows.Err())
+	}
+	cancel()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err after cancellation = %v, want context.Canceled", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	t.Logf("consumed %d tuples after cancel before iteration stopped", n)
+}
+
+// TestCloseRacesParallelQuery races DB.Close against in-flight parallel
+// queries: evaluations against the pre-Close snapshot may finish or report
+// ErrClosed, but nothing may panic or deadlock (run with -race).
+func TestCloseRacesParallelQuery(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		db := openWith(t, cadModule, parallelOpts(4)...)
+		assignEdges(t, db, workload.Chain(4096))
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rows, err := db.QueryContext(context.Background(),
+					`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+				if err != nil {
+					return // ErrClosed: Close won the race
+				}
+				for rows.Next() {
+				}
+				rows.Close()
+			}()
+		}
+		db.Close()
+		wg.Wait()
+	}
+}
+
+// TestRowsCloseMidStreamHaltsWorkers abandons a parallel streaming cursor
+// after one tuple and checks the executor's goroutines (producer plus
+// pipeline workers) exit: goroutine accounting, no leak detector dependency.
+func TestRowsCloseMidStreamHaltsWorkers(t *testing.T) {
+	db := openWith(t, cadModule, parallelOpts(4)...)
+	defer db.Close()
+	assignEdges(t, db, workload.Chain(20000))
+
+	before := runtime.NumGoroutine()
+	rows, err := db.QueryContext(context.Background(),
+		`{<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: f.back = b.front}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no first tuple: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Err(); err != nil {
+		t.Errorf("Err after mid-stream Close = %v, want nil (cancellation is not a failure)", err)
+	}
+	// Close waits for the producer, but the final goroutine exits just after
+	// signalling completion; allow the scheduler a moment to reap it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after Close: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -97,6 +97,25 @@ type ExecInfo struct {
 	// hash partition vs. by scanning the base.
 	PartitionLookups int `json:"partition_lookups"`
 	Scans            int `json:"scans"`
+	// Parallelism is the session's executor worker budget (WithParallelism).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Operators lists per-operator executor counters in first-run order,
+	// aggregated across every pipeline the execution ran (fixpoint rounds
+	// re-run the constructor body's pipelines).
+	Operators []OperatorStat `json:"operators,omitempty"`
+}
+
+// OperatorStat is one streaming operator's aggregated counters from an
+// execution: rows in/out, non-empty batches handed downstream, and the
+// largest worker count the operator's pipeline fanned out to.
+type OperatorStat struct {
+	// Op labels the operator and its binding variable, e.g. "hash-join(b)",
+	// "select[hidden_by]", "scan(f)", "dedup".
+	Op      string `json:"op"`
+	RowsIn  int64  `json:"rows_in"`
+	RowsOut int64  `json:"rows_out"`
+	Batches int64  `json:"batches,omitempty"`
+	Workers int    `json:"workers"`
 }
 
 // JSON renders the plan as indented JSON.
@@ -143,7 +162,15 @@ func (p *Plan) Text() string {
 			fmt.Fprintf(&b, " mode=%s instances=%d rounds=%d evaluations=%d max-delta=%d",
 				a.Mode, a.Instances, a.Rounds, a.Evaluations, a.MaxDelta)
 		}
-		fmt.Fprintf(&b, " partition-lookups=%d scans=%d\n", a.PartitionLookups, a.Scans)
+		fmt.Fprintf(&b, " partition-lookups=%d scans=%d", a.PartitionLookups, a.Scans)
+		if a.Parallelism > 0 {
+			fmt.Fprintf(&b, " parallelism=%d", a.Parallelism)
+		}
+		b.WriteString("\n")
+		for _, op := range a.Operators {
+			fmt.Fprintf(&b, "op:      %-16s rows-in=%d rows-out=%d batches=%d workers=%d\n",
+				op.Op, op.RowsIn, op.RowsOut, op.Batches, op.Workers)
+		}
 	}
 	return b.String()
 }
@@ -163,6 +190,7 @@ func (p *Plan) clone() *Plan {
 	}
 	if p.Analyze != nil {
 		a := *p.Analyze
+		a.Operators = append([]OperatorStat(nil), p.Analyze.Operators...)
 		c.Analyze = &a
 	}
 	return &c

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/eval"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -15,11 +16,20 @@ import (
 // cursor). Tuples are yielded in unspecified order; use Relation().Tuples()
 // when deterministic order is needed.
 //
+// Set-expression queries stream: the cursor pulls from the executor's
+// pipelines while later partitions are still being computed, and Close
+// mid-iteration cancels the executor's workers. Range and magic-restricted
+// queries still materialize before the first Next. Len and Relation always
+// reflect the complete result set — on the streaming path they wait for the
+// evaluation to finish (the set is accumulated either way).
+//
 // A Rows is bound to the snapshot its query evaluated against; later writes
 // to the database do not affect it. It is not safe for concurrent use by
 // multiple goroutines.
 type Rows struct {
 	rel    *relation.Relation
+	stream *eval.Stream // non-nil on the streaming path; rel lazily filled
+	pos    int          // next index into the stream's delivery sequence
 	ctx    context.Context
 	cols   []string
 	next   func() (value.Tuple, bool)
@@ -37,23 +47,55 @@ type Rows struct {
 // release, if non-nil, is called exactly once when the cursor closes.
 func newRows(ctx context.Context, rel *relation.Relation, release func()) *Rows {
 	next, stop := iter.Pull(rel.All())
+	return &Rows{rel: rel, ctx: ctx, cols: colsOf(rel), next: next, stop: stop, release: release}
+}
+
+// newStreamRows wraps a streaming evaluation begun by eval.StreamSetExpr.
+func newStreamRows(ctx context.Context, stream *eval.Stream, release func()) *Rows {
+	elem := stream.Type().Element
+	cols := make([]string, len(elem.Attrs))
+	for i, a := range elem.Attrs {
+		cols[i] = a.Name
+	}
+	return &Rows{stream: stream, ctx: ctx, cols: cols, release: release}
+}
+
+func colsOf(rel *relation.Relation) []string {
 	elem := rel.Type().Element
 	cols := make([]string, len(elem.Attrs))
 	for i, a := range elem.Attrs {
 		cols[i] = a.Name
 	}
-	return &Rows{rel: rel, ctx: ctx, cols: cols, next: next, stop: stop, release: release}
+	return cols
 }
 
 // Columns returns the attribute names of the result relation.
 func (r *Rows) Columns() []string { return r.cols }
 
-// Len returns the total number of result tuples (known up front: DBPL
-// queries produce sets).
-func (r *Rows) Len() int { return r.rel.Len() }
+// Len returns the total number of result tuples (DBPL queries produce sets).
+// On the streaming path this waits for the evaluation to complete; iteration
+// then continues from the cursor's current position. If the evaluation
+// failed, Len counts the tuples produced before the failure and Err reports
+// the cause.
+func (r *Rows) Len() int { return r.materialize().Len() }
 
-// Relation returns the underlying result relation.
-func (r *Rows) Relation() *Relation { return r.rel }
+// Relation returns the result relation, waiting for a streaming evaluation
+// to complete first.
+func (r *Rows) Relation() *Relation { return r.materialize() }
+
+// materialize resolves the complete result set. On the materialized path it
+// is a field read; on the streaming path it blocks until the producer
+// finishes and records any evaluation failure in Err.
+func (r *Rows) materialize() *relation.Relation {
+	if r.stream != nil {
+		rel, err := r.stream.Materialize()
+		if err != nil {
+			r.setErr(err)
+		}
+		r.rel = rel
+	}
+	return r.rel
+}
 
 // Next advances to the next tuple, reporting whether one is available. It
 // returns false once the cursor is exhausted, closed, canceled, or a Scan
@@ -69,7 +111,18 @@ func (r *Rows) Next() bool {
 			return false
 		}
 	}
-	t, ok := r.next()
+	var t value.Tuple
+	var ok bool
+	if r.stream != nil {
+		t, ok = r.stream.At(r.pos)
+		if ok {
+			r.pos++
+		} else if err := r.stream.Err(); err != nil {
+			r.setErr(err)
+		}
+	} else {
+		t, ok = r.next()
+	}
 	if !ok {
 		r.Close()
 		return false
@@ -154,19 +207,24 @@ func (r *Rows) scan(dest []any) error {
 }
 
 // Err returns the first error encountered during iteration: the query
-// context's cancellation cause, or a sticky Scan failure. It is nil after a
-// loop that simply exhausted the cursor. (The result set itself is
-// materialized before the first Next — query evaluation errors surface from
-// the Query call, not here.)
+// context's cancellation cause, a sticky Scan failure, or — on the streaming
+// path — an evaluation error surfaced mid-stream. It is nil after a loop
+// that simply exhausted the cursor.
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the cursor. It is idempotent, safe after exhaustion, and
-// preserves Err.
+// preserves Err. On the streaming path it cancels the evaluation and returns
+// only after the executor's workers have exited.
 func (r *Rows) Close() error {
 	if !r.closed {
 		r.closed = true
 		r.cur = nil
-		r.stop()
+		if r.stream != nil {
+			r.stream.Close()
+		}
+		if r.stop != nil {
+			r.stop()
+		}
 		if r.release != nil {
 			r.release()
 		}

@@ -159,8 +159,8 @@ func TestRecordStatsZeroValueStats(t *testing.T) {
 
 	// An evaluation ran and legitimately produced zero-valued stats
 	// (SemiNaive is mode 0): they must be recorded, not skipped as "empty".
-	en.Applies++
-	en.LastStats = core.Stats{}
+	en.Applies.Add(1)
+	en.SetLastStats(core.Stats{})
 	db.recordStats(en)
 	if got := db.LastStats(); got.Rounds != 0 || got.Tuples != 0 {
 		t.Fatalf("zero-valued stats skipped, LastStats stale: %+v", got)

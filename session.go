@@ -64,6 +64,12 @@ type DB struct {
 	statsMu   sync.Mutex
 	lastStats Stats
 
+	// parallelism and parallelMinRows configure the streaming executor's
+	// worker fan-out (WithParallelism / WithParallelThreshold). Fixed at Open
+	// and read without locking afterwards.
+	parallelism     int
+	parallelMinRows int
+
 	plans *planCache
 
 	// maxOpenRows caps concurrently open Rows cursors (WithMaxOpenRows);
@@ -101,15 +107,20 @@ func Open(opts ...Option) (*DB, error) {
 	env := eval.NewEnv()
 	reg := core.NewRegistry()
 	d := &DB{
-		Store:       store.NewDatabase(),
-		Checker:     typecheck.New(),
-		Registry:    reg,
-		env:         env,
-		Strict:      cfg.strict,
-		plans:       newPlanCache(cfg.planCacheSize),
-		noOptimize:  cfg.noOptimize,
-		maxOpenRows: cfg.maxOpenRows,
+		Store:           store.NewDatabase(),
+		Checker:         typecheck.New(),
+		Registry:        reg,
+		env:             env,
+		Strict:          cfg.strict,
+		plans:           newPlanCache(cfg.planCacheSize),
+		noOptimize:      cfg.noOptimize,
+		maxOpenRows:     cfg.maxOpenRows,
+		parallelism:     cfg.parallelism,
+		parallelMinRows: cfg.parallelMinRows,
 	}
+	env.Parallelism = cfg.parallelism
+	env.ParallelMinRows = cfg.parallelMinRows
+	d.Store.SetParallelism(cfg.parallelism)
 	if cfg.path != "" {
 		wlog, st, err := wal.Open(cfg.path, wal.Options{
 			Sync:              cfg.syncPolicy,
@@ -122,6 +133,7 @@ func Open(opts ...Option) (*DB, error) {
 			return nil, fmt.Errorf("dbpl: opening durable store at %s: %w", cfg.path, err)
 		}
 		d.Store = st
+		st.SetParallelism(cfg.parallelism)
 		d.wal = wlog
 		// Recovered base relations type-check in queries without re-running
 		// the declaring modules.
@@ -161,6 +173,7 @@ func Open(opts ...Option) (*DB, error) {
 	d.Engine = core.NewEngine(reg, env)
 	d.Engine.Mode = cfg.mode
 	d.Engine.MaxRounds = cfg.maxRounds
+	d.Engine.Parallelism = cfg.parallelism
 	d.rebuildDecls()
 	if cfg.storeReader != nil {
 		if err := d.LoadStore(cfg.storeReader); err != nil {
@@ -216,13 +229,17 @@ func (d *DB) recordStats(en *core.Engine) {
 // shared exec-path engine): the caller samples Applies before the call and
 // stats are recorded only if evaluations happened since.
 func (d *DB) recordStatsSince(en *core.Engine, before uint64) {
-	if en.Applies == before {
+	if en.Applies.Load() == before {
 		return // no constructor evaluated: keep the previous stats
 	}
 	d.statsMu.Lock()
-	d.lastStats = en.LastStats
+	d.lastStats = en.LastStats()
 	d.statsMu.Unlock()
 }
+
+// Parallelism reports the executor's configured worker fan-out
+// (WithParallelism; runtime.GOMAXPROCS(0) by default).
+func (d *DB) Parallelism() int { return d.parallelism }
 
 // acquireRows claims one open-cursor slot against the WithMaxOpenRows cap,
 // returning the release the cursor calls exactly once on Close. With no cap
@@ -388,7 +405,7 @@ func (d *DB) ExecToContext(ctx context.Context, out io.Writer, src string) error
 
 	// Statements run outside the declaration lock: writes go through the
 	// store's own synchronization, so queries proceed in parallel.
-	applies := d.Engine.Applies
+	applies := d.Engine.Applies.Load()
 	defer func() {
 		d.env.Ctx = nil
 		d.recordStatsSince(d.Engine, applies)
@@ -476,9 +493,12 @@ func (d *DB) baseCallEnv(ctx context.Context) (*eval.Env, *core.Engine, *store.D
 		env.Paths = st
 	}
 	env.Ctx = ctx
+	env.Parallelism = d.parallelism
+	env.ParallelMinRows = d.parallelMinRows
 	en := core.NewEngine(reg, env)
 	en.Mode = mode
 	en.MaxRounds = maxRounds
+	en.Parallelism = d.parallelism
 	return env, en, st
 }
 
@@ -576,6 +596,7 @@ func (d *DB) LoadStore(r io.Reader) error {
 		}
 	}
 	d.Store = db
+	db.SetParallelism(d.parallelism)
 	// Drop the exec-path relation bindings of the previous store so stale
 	// relations do not keep resolving after the swap; the next statement
 	// re-binds from the new store.

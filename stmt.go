@@ -174,10 +174,23 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Relation, error) {
 
 // QueryRows is Query with a streaming row cursor over the result. The cursor
 // counts against the session's WithMaxOpenRows cap until it is closed.
+//
+// Pure set-expression statements stream: evaluation runs on background
+// executor workers while the cursor iterates, and closing the cursor cancels
+// them. Range and magic-restricted statements materialize first, as Query
+// does; either way Len and Relation report the complete result.
 func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
 	release, err := s.db.acquireRows()
 	if err != nil {
 		return nil, err
+	}
+	if s.magic == nil && s.execRng == nil && s.execSet != nil {
+		rows, err := s.streamRows(ctx, args, release)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		return rows, nil
 	}
 	rel, err := s.exec(ctx, args, nil)
 	if err != nil {
@@ -187,9 +200,39 @@ func (s *Stmt) QueryRows(ctx context.Context, args ...any) (*Rows, error) {
 	return newRows(ctx, rel, release), nil
 }
 
+// streamRows begins a streaming evaluation of a pure set-expression
+// statement. Type and planning errors surface synchronously; runtime
+// evaluation errors surface through the cursor's Err.
+func (s *Stmt) streamRows(ctx context.Context, args []any, release func()) (*Rows, error) {
+	if s.closed.Load() {
+		return nil, ErrStmtClosed
+	}
+	if len(args) != len(s.params) {
+		return nil, fmt.Errorf("dbpl: statement %q expects %d argument(s) %v, got %d",
+			s.src, len(s.params), s.params, len(args))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	env, en := s.db.callEnv(ctx)
+	for i, name := range s.params {
+		v, err := toValue(args[i])
+		if err != nil {
+			return nil, fmt.Errorf("dbpl: binding parameter %q: %w", name, err)
+		}
+		env.Scalars[name] = v
+	}
+	stream, err := env.StreamSetExpr(s.execSet, nil, func() { s.db.recordStats(en) })
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return newStreamRows(ctx, stream, release), nil
+}
+
 // execStats collects per-execution counters for EXPLAIN ANALYZE.
 type execStats struct {
 	paths  eval.PathStats
+	exec   eval.ExecStats
 	engine core.Stats
 }
 
@@ -213,6 +256,7 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 	}
 	if ex != nil {
 		env.PathStats = &ex.paths
+		env.ExecStats = &ex.exec
 	}
 	for i, name := range s.params {
 		v, err := toValue(args[i])
@@ -235,8 +279,8 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 		return nil, wrapErr(err)
 	}
 	s.db.recordStats(en)
-	if ex != nil && en.Applies > 0 {
-		ex.engine = en.LastStats
+	if ex != nil && en.Applies.Load() > 0 {
+		ex.engine = en.LastStats()
 	}
 	return rel, nil
 }
@@ -259,9 +303,14 @@ func (s *Stmt) execMagic(ctx context.Context, env *eval.Env, ex *execStats) (*re
 	maxRounds := d.Engine.MaxRounds
 	d.mu.RUnlock()
 
-	en := core.NewEngine(s.magicReg, eval.NewEnv())
+	men := eval.NewEnv()
+	men.Parallelism = env.Parallelism
+	men.ParallelMinRows = env.ParallelMinRows
+	men.ExecStats = env.ExecStats
+	en := core.NewEngine(s.magicReg, men)
 	en.Mode = mode
 	en.MaxRounds = maxRounds
+	en.Parallelism = env.Parallelism
 	args := make([]eval.Resolved, 0, len(mp.Bundle.EDB)+len(mp.Bundle.IDB))
 	for _, pred := range mp.Bundle.EDB {
 		if pred == mp.BasePred {
@@ -280,7 +329,7 @@ func (s *Stmt) execMagic(ctx context.Context, env *eval.Env, ex *execStats) (*re
 	}
 	s.db.recordStats(en)
 	if ex != nil {
-		ex.engine = en.LastStats
+		ex.engine = en.LastStats()
 	}
 	restricted := horn.RetypeRelation(mp.Result, res)
 	return env.ApplySuffixes(restricted, s.execRng.Suffixes[mp.SuffixFrom:])
