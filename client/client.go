@@ -446,6 +446,14 @@ type Health struct {
 	StreamErr string
 	// Parallelism is the server executor's worker fan-out (dbpld -parallel).
 	Parallelism uint64
+	// Materialized-view cache state on the server: enabled flag, live
+	// entries, read outcome counters, and queued-delta maintenance backlog.
+	MatEnabled    bool
+	MatEntries    uint64
+	MatHits       uint64
+	MatMisses     uint64
+	MatMaintained uint64
+	MatBacklog    uint64
 }
 
 // Health asks the server for its health report.

@@ -231,7 +231,25 @@ func (l *localEngine) HealthText(context.Context) (string, error) {
 	if h.Cause != nil {
 		s += fmt.Sprintf(" cause=%q", h.Cause)
 	}
+	s += matviewText(h.MatViews.Enabled, h.MatViews.Entries,
+		h.MatViews.Hits, h.MatViews.Misses, h.MatViews.Maintained, h.MatViews.Backlog)
 	return s, nil
+}
+
+// matviewText renders the materialized-view segment of a health line: entry
+// count, hit rate over cacheable reads (hits plus incremental maintenance),
+// and queued-delta backlog.
+func matviewText(enabled bool, entries int, hits, misses, maintained uint64, backlog int) string {
+	if !enabled {
+		return " matview=off"
+	}
+	served := hits + maintained
+	rate := "n/a"
+	if total := served + misses; total > 0 {
+		rate = fmt.Sprintf("%.0f%%", 100*float64(served)/float64(total))
+	}
+	return fmt.Sprintf(" matview entries=%d hit-rate=%s maintained=%d backlog=%d",
+		entries, rate, maintained, backlog)
 }
 
 func (l *localEngine) Close() error { return l.db.Close() }
@@ -289,6 +307,7 @@ func (r *remoteEngine) HealthText(ctx context.Context) (string, error) {
 			s += fmt.Sprintf(" stream-error=%q", h.StreamErr)
 		}
 	}
+	s += matviewText(h.MatEnabled, int(h.MatEntries), h.MatHits, h.MatMisses, h.MatMaintained, int(h.MatBacklog))
 	return s, nil
 }
 

@@ -67,5 +67,10 @@ func (s *Stmt) ExplainQuery(ctx context.Context, args ...any) (*Plan, error) {
 		p.Analyze.Evaluations = ex.engine.Evaluations
 		p.Analyze.MaxDelta = ex.engine.MaxDelta
 	}
+	if ex.viewSet {
+		p.Analyze.MatView = ex.view.Outcome
+		p.Analyze.MatViewDelta = ex.view.Delta
+		p.Analyze.MatViewRounds = ex.view.Rounds
+	}
 	return p, nil
 }

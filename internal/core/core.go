@@ -21,6 +21,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -130,6 +131,25 @@ type Stats struct {
 	MaxDelta    int // largest per-round delta (semi-naive only)
 }
 
+// ViewStats describes how a materialized-view layer answered one constructor
+// application: served unchanged ("hit"), computed and installed ("miss"), or
+// brought up to date by resuming the fixpoint over a base delta
+// ("maintained", with the delta size and the maintenance rounds).
+type ViewStats struct {
+	Outcome string // "hit", "miss", or "maintained"
+	Delta   int    // base-delta tuples absorbed (maintained only)
+	Rounds  int    // maintenance fixpoint rounds (maintained only)
+}
+
+// ViewProvider intercepts constructor applications with a materialized
+// derived-relation cache (package matview). Apply either serves the
+// application (ok true) or declines (ok false), in which case the engine
+// computes it directly. A provider computing on a miss must use the engine's
+// Ground/Solve — which never consult the provider — not ApplyContext.
+type ViewProvider interface {
+	Apply(ctx context.Context, en *Engine, name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, bool, error)
+}
+
 // Engine evaluates constructor applications. It implements
 // eval.ConstructorResolver, so installing it in an eval.Env makes ranges like
 // Infront{ahead} work inside arbitrary queries.
@@ -148,6 +168,10 @@ type Engine struct {
 	// are evaluated concurrently per round. 0 or 1 keeps rounds serial.
 	// (Intra-equation parallelism is governed separately by the eval.Env.)
 	Parallelism int
+	// Views, when non-nil, is consulted before every constructor application;
+	// a serving provider replaces the ground-and-solve path entirely. Set it
+	// before sharing the engine across goroutines.
+	Views ViewProvider
 	// Applies counts completed top-level Apply calls on this engine. It is
 	// atomic because engines are shared across concurrent queries.
 	Applies atomic.Uint64
@@ -157,6 +181,10 @@ type Engine struct {
 	// legitimate outcome, so "did anything run" is answered by Applies, not
 	// by comparing LastStats against Stats{}.
 	lastStats Stats
+	// lastView records the most recent view-provider outcome; viewEvents
+	// counts them (same convention as Applies vs lastStats).
+	lastView   ViewStats
+	viewEvents uint64
 }
 
 // LastStats returns the stats of the most recent completed top-level Apply.
@@ -172,6 +200,24 @@ func (en *Engine) SetLastStats(s Stats) {
 	en.statsMu.Lock()
 	en.lastStats = s
 	en.statsMu.Unlock()
+}
+
+// NoteView records a view-provider outcome for this engine, surfaced by
+// EXPLAIN ANALYZE. The provider calls it once per served or missed
+// application.
+func (en *Engine) NoteView(vs ViewStats) {
+	en.statsMu.Lock()
+	en.lastView = vs
+	en.viewEvents++
+	en.statsMu.Unlock()
+}
+
+// LastView returns the most recent view-provider outcome and whether any was
+// recorded.
+func (en *Engine) LastView() (ViewStats, bool) {
+	en.statsMu.Lock()
+	defer en.statsMu.Unlock()
+	return en.lastView, en.viewEvents > 0
 }
 
 // NewEngine creates an engine over a registry and global environment and
@@ -195,49 +241,245 @@ func (en *Engine) Apply(name string, base *relation.Relation, args []eval.Resolv
 
 // ApplyContext is Apply with cancellation: ctx is checked between fixpoint
 // rounds and inside the branch loops of every equation evaluation, so a
-// runaway recursive constructor can be aborted.
+// runaway recursive constructor can be aborted. With a ViewProvider attached,
+// the provider is consulted first and may serve the application from a
+// materialized cache.
 func (en *Engine) ApplyContext(ctx context.Context, name string, base *relation.Relation, args []eval.Resolved) (*relation.Relation, error) {
-	sys := &system{engine: en, ctx: ctx, byKey: make(map[string]*instance), fps: make(map[*relation.Relation]string)}
+	if en.Views != nil {
+		if rel, ok, err := en.Views.Apply(ctx, en, name, base, args); err != nil || ok {
+			return rel, err
+		}
+	}
+	sys, err := en.Ground(ctx, name, base, args)
+	if err != nil {
+		return nil, err
+	}
+	state, _, err := sys.Solve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Root(state), nil
+}
+
+// System is one grounded constructor-application system: the reachable
+// equation instances with formals bound, ready to be solved. A grounded
+// system is reusable — a materialized-view layer caches it together with its
+// converged state and later resumes the fixpoint over base deltas.
+type System struct {
+	en      *Engine
+	sys     *system
+	name    string
+	rootKey string
+	mode    Mode
+	// allowNonMono mirrors the presence of non-positive instances.
+	allowNonMono bool
+	// base is the root application's base relation (updated by Resume).
+	base *relation.Relation
+}
+
+// Ground builds the equation system of one constructor application without
+// solving it. The instance environments snapshot the engine's global bindings,
+// so the system is independent of later store writes.
+func (en *Engine) Ground(ctx context.Context, name string, base *relation.Relation, args []eval.Resolved) (*System, error) {
+	sys := &system{
+		engine:  en,
+		ctx:     ctx,
+		byKey:   make(map[string]*instance),
+		fps:     make(map[*relation.Relation]string),
+		deps:    make(map[string]bool),
+		depSels: make(map[string]bool),
+	}
 	rootKey, err := sys.ground(name, base, args)
 	if err != nil {
 		return nil, err
 	}
-
-	mode := en.Mode
-	allowNonMono := false
+	s := &System{en: en, sys: sys, name: name, rootKey: rootKey, mode: en.Mode, base: base}
 	for _, inst := range sys.instances {
 		if !inst.cons.Positive {
-			mode = Naive // semi-naive requires monotonicity
-			allowNonMono = true
+			s.mode = Naive // semi-naive requires monotonicity
+			s.allowNonMono = true
 		}
 	}
+	return s, nil
+}
+
+// RootIndex returns the root application's equation index.
+func (s *System) RootIndex() int { return s.sys.byKey[s.rootKey].index }
+
+// Root extracts the root application's relation from a state slice.
+func (s *System) Root(state []*relation.Relation) *relation.Relation {
+	return state[s.RootIndex()]
+}
+
+// Size returns the number of equation instances.
+func (s *System) Size() int { return len(s.sys.instances) }
+
+// Resumable reports whether Resume may absorb base-relation growth
+// differentially: the system is all-positive (solved semi-naively), every
+// instance's use of the shared base is monotone, and no grounding-time
+// evaluation (application prefixes, relation arguments) depends on the base —
+// those are computed once and cannot be re-derived without regrounding.
+func (s *System) Resumable() bool {
+	return s.mode == SemiNaive && s.sys.nonResumable == ""
+}
+
+// Deps returns the sorted names of global relations the system's bodies (and
+// the selector bodies they apply, transitively) may read — everything except
+// the instances' own formals and synthesized markers. A caller caching the
+// solved system must discard it when any of these change; the base relation
+// itself is reported only if it is also read by name through the globals.
+func (s *System) Deps() []string {
+	out := make([]string, 0, len(s.sys.deps))
+	for n := range s.sys.deps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DepValues returns the grounding-time value of each Deps entry (nil for
+// names that were unbound), so a cache can verify the snapshot it captured is
+// still the published state before installing a computed result.
+func (s *System) DepValues() map[string]*relation.Relation {
+	root := s.sys.byKey[s.rootKey]
+	out := make(map[string]*relation.Relation, len(s.sys.deps))
+	for n := range s.sys.deps {
+		out[n] = root.env.Rels[n]
+	}
+	return out
+}
+
+// fixpointOpts builds iteration options from an engine's configuration.
+func fixpointOpts(en *Engine, ctx context.Context, allowNonMono bool) fixpoint.Options {
 	maxRounds := en.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = 1 << 20
 	}
-	opts := fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono, Ctx: ctx, Parallelism: en.Parallelism}
+	return fixpoint.Options{MaxRounds: maxRounds, AllowNonMonotonic: allowNonMono, Ctx: ctx, Parallelism: en.Parallelism}
+}
 
+// rebindCtx points every instance environment at the context of the current
+// call; grounding bound them to the grounding call's context, which may be
+// long cancelled when a cached system is reused.
+func (s *System) rebindCtx(ctx context.Context) {
+	s.sys.ctx = ctx
+	for _, inst := range s.sys.instances {
+		inst.env.Ctx = ctx
+	}
+}
+
+// Solve computes the system's least fixpoint and records the engine's
+// per-apply stats, returning the full state for callers that want to cache
+// every equation's relation (Root extracts the answer).
+func (s *System) Solve(ctx context.Context) ([]*relation.Relation, fixpoint.Stats, error) {
+	s.rebindCtx(ctx)
+	opts := fixpointOpts(s.en, ctx, s.allowNonMono)
 	var state []*relation.Relation
 	var fstats fixpoint.Stats
-	if mode == Naive {
-		state, fstats, err = fixpoint.Naive(sys, opts)
+	var err error
+	if s.mode == Naive {
+		state, fstats, err = fixpoint.Naive(s.sys, opts)
 	} else {
-		state, fstats, err = fixpoint.SemiNaive(sys, opts)
+		state, fstats, err = fixpoint.SemiNaive(s.sys, opts)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("constructor %s: %w", name, err)
+		return nil, fstats, fmt.Errorf("constructor %s: %w", s.name, err)
 	}
-	root := sys.byKey[rootKey]
+	s.recordStats(s.en, state, fstats)
+	return state, fstats, nil
+}
+
+// recordStats publishes one solve/resume outcome on en.
+func (s *System) recordStats(en *Engine, state []*relation.Relation, fstats fixpoint.Stats) {
 	en.Applies.Add(1)
 	en.SetLastStats(Stats{
-		Mode:        mode,
-		Instances:   len(sys.instances),
+		Mode:        s.mode,
+		Instances:   len(s.sys.instances),
 		Rounds:      fstats.Rounds,
 		Evaluations: fstats.Evaluations,
-		Tuples:      state[root.index].Len(),
+		Tuples:      s.Root(state).Len(),
 		MaxDelta:    fstats.MaxDeltaSize,
 	})
-	return state[root.index], nil
+}
+
+// Detach unlinks the grounded system from its originating call: the per-call
+// context and stat sinks wired into the instance environments would otherwise
+// keep counting (and keep a cancelled context) after the call is gone. A
+// cache calls it once before retaining the system; Solve and Resume rebind
+// the context per call.
+func (s *System) Detach() {
+	s.rebindCtx(context.Background())
+	for _, inst := range s.sys.instances {
+		inst.env.ExecStats = nil
+		inst.env.PathStats = nil
+	}
+}
+
+// Resume continues the solved system after its base relation grew: state is a
+// converged state (from Solve or a previous Resume), newBase the base's new
+// published value, and delta exactly the tuples newBase gained. The first
+// round differentiates every instance bound to the old base with respect to
+// the base delta (branches whose base occurrences are all bare binding ranges
+// evaluate once per occurrence with that occurrence restricted to the delta;
+// branches using the base in nested-but-monotone positions re-evaluate in
+// full, excluding known tuples), then standard semi-naive rounds propagate
+// the derived deltas through the recursion to the new least fixpoint.
+//
+// Relations in state are never mutated (copy-on-write), so the caller may
+// keep serving them. en supplies the iteration budget and receives the
+// per-apply stats — it is the engine of the call triggering maintenance, not
+// necessarily the one that grounded the system.
+func (s *System) Resume(ctx context.Context, en *Engine, state []*relation.Relation, newBase *relation.Relation, delta *relation.Relation) ([]*relation.Relation, fixpoint.Stats, error) {
+	if !s.Resumable() {
+		return nil, fixpoint.Stats{}, fmt.Errorf("constructor %s: system is not resumable: %s", s.name, s.sys.nonResumable)
+	}
+	s.rebindCtx(ctx)
+	oldBase := s.base
+	rebound := make([]bool, len(s.sys.instances))
+	for i, inst := range s.sys.instances {
+		if inst.base == oldBase {
+			inst.base = newBase
+			inst.env.Rels[inst.cons.Decl.ForVar] = newBase
+			rebound[i] = true
+		}
+	}
+	s.base = newBase
+
+	n := len(s.sys.instances)
+	cur := make([]*relation.Relation, n)
+	copy(cur, state)
+	deltas := make([]*relation.Relation, n)
+	owned := make([]bool, n)
+	var stats fixpoint.Stats
+	stats.Rounds++ // the base-delta round
+	for i, inst := range s.sys.instances {
+		if !rebound[i] {
+			deltas[i] = relation.New(inst.cons.Result)
+			continue
+		}
+		out, err := s.sys.evalBaseDelta(inst, cur, delta)
+		if err != nil {
+			return nil, stats, fmt.Errorf("constructor %s: %w", s.name, err)
+		}
+		stats.Evaluations++
+		if out.Len() > 0 {
+			grown := cur[i].Clone()
+			grown.UnionInto(out)
+			cur[i] = grown
+			owned[i] = true
+		}
+		deltas[i] = out
+	}
+	final, lstats, err := fixpoint.SemiNaiveResume(s.sys, cur, deltas, owned, fixpointOpts(en, ctx, false))
+	stats.Rounds += lstats.Rounds
+	stats.Evaluations += lstats.Evaluations
+	stats.MaxDeltaSize = lstats.MaxDeltaSize
+	stats.TuplesFinal = lstats.TuplesFinal
+	if err != nil {
+		return nil, stats, fmt.Errorf("constructor %s: %w", s.name, err)
+	}
+	s.recordStats(en, final, stats)
+	return final, stats, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -251,31 +493,53 @@ const markerPrefix = "$app#"
 
 func isMarkerName(name string) bool { return strings.HasPrefix(name, markerPrefix) }
 
+// basePrefix names base-occurrence aliases: every bare binding range over an
+// instance's base formal is rewritten to a unique alias $base#<n>, so that
+// Resume can differentiate the body with respect to a base delta one
+// occurrence at a time — the same per-occurrence technique the $app# markers
+// provide for recursive occurrences. Like markers, aliases cannot collide
+// with user names.
+const basePrefix = "$base#"
+
+func isBaseAlias(name string) bool { return strings.HasPrefix(name, basePrefix) }
+
 // instance is one grounded constructor application.
 type instance struct {
 	index int
 	key   string
 	cons  *Constructor
-	// body is the instantiated body: formal names are bound in env, and
-	// every recursive constructor application range has been rewritten to a
-	// unique occurrence marker $app#<n> whose referenced instance is in
-	// occKeys.
+	// body is the instantiated body: formal names are bound in env, every
+	// recursive constructor application range has been rewritten to a unique
+	// occurrence marker $app#<n> whose referenced instance is in occKeys, and
+	// every bare binding range over the base formal to a $base#<n> alias.
 	body *ast.SetExpr
 	env  *eval.Env
+	// base is the relation the instance's base formal is bound to (rebound
+	// by System.Resume when the root base grows).
+	base *relation.Relation
 	// occKeys maps occurrence marker names to instance keys.
 	occKeys map[string]string
+	// aliases lists the instance's base-occurrence alias names.
+	aliases []string
 	// branches classifies each body branch for semi-naive evaluation.
 	branches []branchInfo
 }
 
-// branchInfo records, per branch, which occurrence markers appear and whether
-// each appears as a bare top-level binding range (differentiable) or in a
-// nested position (quantifier range, membership, suffixed marker), which
-// forces full re-evaluation of the branch every round.
+// branchInfo records, per branch, how the occurrence markers and the base
+// formal appear: a marker or base occurrence as a bare top-level binding
+// range is differentiable; a nested position (quantifier range, membership,
+// suffixed application) forces full re-evaluation of the branch when that
+// relation grows.
 type branchInfo struct {
 	recursive      bool
 	differentiable bool
 	bindingOccs    []string // marker names appearing as bare binding ranges
+	// usesBase marks branches mentioning the base formal at all; baseDiff
+	// marks those whose base occurrences are all bare binding ranges (the
+	// baseOccs aliases), so a base delta can be joined in per occurrence.
+	usesBase bool
+	baseDiff bool
+	baseOccs []string // alias names of bare base binding ranges
 }
 
 type system struct {
@@ -284,6 +548,21 @@ type system struct {
 	instances []*instance
 	byKey     map[string]*instance
 	fps       map[*relation.Relation]string // fingerprint cache
+	// deps accumulates the global relation names any instance body (or a
+	// selector body it applies) may read; depSels tracks chased selectors.
+	deps    map[string]bool
+	depSels map[string]bool
+	// nonResumable, when non-empty, records why System.Resume cannot absorb
+	// base deltas differentially (first reason wins).
+	nonResumable string
+}
+
+// markNonResumable records the first reason differential resumption is
+// unsupported; the system stays solvable, it just cannot be maintained.
+func (s *system) markNonResumable(reason string) {
+	if s.nonResumable == "" {
+		s.nonResumable = reason
+	}
 }
 
 func (s *system) fp(r *relation.Relation) string {
@@ -335,6 +614,7 @@ func (s *system) ground(name string, base *relation.Relation, args []eval.Resolv
 		cons:    cons,
 		body:    ast.CopySetExpr(cons.Decl.Body),
 		env:     s.engine.GlobalEnv.Clone(),
+		base:    base,
 		occKeys: make(map[string]string),
 	}
 	inst.env.Ctx = s.ctx
@@ -354,6 +634,11 @@ func (s *system) ground(name string, base *relation.Relation, args []eval.Resolv
 	s.byKey[key] = inst
 	s.instances = append(s.instances, inst)
 
+	// Collect global dependencies from the instantiated body before the
+	// marker rewrite erases application prefixes (their ranges are evaluated
+	// here at grounding time, so what they read is a dependency too).
+	s.collectDeps(inst)
+
 	// Rewrite every constructor application inside the body into an
 	// occurrence marker, grounding the referenced instances.
 	occCounter := 0
@@ -370,8 +655,73 @@ func (s *system) ground(name string, base *relation.Relation, args []eval.Resolv
 		return "", rewriteErr
 	}
 
-	inst.classifyBranches()
+	s.classifyBranches(inst)
 	return key, nil
+}
+
+// collectDeps records every global relation name the instance's body may
+// read: range variables that are not this instance's formals or synthesized
+// markers, plus — transitively — whatever the applied selectors' bodies read.
+// A selector body evaluates against the instance environment, where the base
+// formal shadows any same-named global; a selector mentioning that name would
+// therefore read the base through a side door invisible to the per-occurrence
+// differentiation, so it marks the system non-resumable.
+func (s *system) collectDeps(inst *instance) {
+	formals := map[string]bool{inst.cons.Decl.ForVar: true}
+	for _, p := range inst.cons.Decl.Params {
+		formals[p.Name] = true
+	}
+	var chase func(selName string)
+	note := func(r *ast.Range, inSelector string) {
+		if r.Var != "" && !isMarkerName(r.Var) && !isBaseAlias(r.Var) {
+			switch {
+			case r.Var == inst.cons.Decl.ForVar:
+				if inSelector != "" {
+					s.markNonResumable(fmt.Sprintf("selector %s reads the base relation through the shadowed name %q", inSelector, r.Var))
+				}
+			case !formals[r.Var]:
+				s.deps[r.Var] = true
+			}
+		}
+		for i := range r.Suffixes {
+			if r.Suffixes[i].Kind == ast.SuffixSelector {
+				chase(r.Suffixes[i].Name)
+			}
+		}
+	}
+	chase = func(selName string) {
+		// Visited per instance: the shadowed-base check below depends on this
+		// instance's base formal name.
+		visitKey := inst.key + "\x00" + selName
+		if s.depSels[visitKey] {
+			return
+		}
+		s.depSels[visitKey] = true
+		decl, ok := inst.env.Selectors[selName]
+		if !ok {
+			return
+		}
+		selFormals := map[string]bool{decl.ForVar: true, decl.BodyVar: true}
+		for _, p := range decl.Params {
+			selFormals[p.Name] = true
+		}
+		if decl.Where != nil {
+			predRangesOnly(decl.Where, func(r *ast.Range) {
+				if r.Var != "" && !selFormals[r.Var] {
+					if r.Var == inst.cons.Decl.ForVar {
+						s.markNonResumable(fmt.Sprintf("selector %s reads the base relation through the shadowed name %q", selName, r.Var))
+					}
+					s.deps[r.Var] = true
+				}
+				for i := range r.Suffixes {
+					if r.Suffixes[i].Kind == ast.SuffixSelector {
+						chase(r.Suffixes[i].Name)
+					}
+				}
+			})
+		}
+	}
+	ast.WalkRanges(inst.body, func(r *ast.Range) { note(r, "") })
 }
 
 // rewriteRange replaces the constructor suffixes of one range with an
@@ -395,11 +745,29 @@ func (s *system) rewriteRange(inst *instance, r *ast.Range, occCounter *int) err
 			"constructor %s: application %s uses a recursive occurrence in its base or arguments; merging such subgraphs requires runtime compilation (section 4) and is not supported",
 			inst.cons.Decl.Name, r.Suffixes[first].Name)
 	}
-	// Evaluate the prefix concretely.
-	prefix := &ast.Range{Var: r.Var, Sub: r.Sub, Suffixes: r.Suffixes[:first], Pos: r.Pos}
-	base, err := inst.env.Range(prefix)
-	if err != nil {
-		return err
+	// Evaluate the prefix concretely. The bare-formal case bypasses the
+	// evaluator so the child instance is grounded on the exact base pointer:
+	// System.Resume rebinds by pointer identity, and only a pointer-identical
+	// chain of instances can be rebound as one. A prefix or argument that
+	// mentions the base formal any other way is evaluated here, once, from
+	// the old base — it cannot be re-derived on Resume, so it makes the
+	// system non-resumable (still solvable and cacheable).
+	forVar := inst.cons.Decl.ForVar
+	trivial := first == 0 && r.Sub == nil && r.Var == forVar
+	if mentionsVar(r, first, forVar, trivial) {
+		s.markNonResumable(fmt.Sprintf("constructor %s: application %s computes its base or arguments from the base formal %q at grounding time",
+			inst.cons.Decl.Name, r.Suffixes[first].Name, forVar))
+	}
+	var base *relation.Relation
+	if trivial {
+		base = inst.base
+	} else {
+		prefix := &ast.Range{Var: r.Var, Sub: r.Sub, Suffixes: r.Suffixes[:first], Pos: r.Pos}
+		var err error
+		base, err = inst.env.Range(prefix)
+		if err != nil {
+			return err
+		}
 	}
 	suf := r.Suffixes[first]
 	args, err := inst.env.ResolveArgs(suf.Args)
@@ -455,6 +823,32 @@ func containsMarker(r *ast.Range, firstCons int) bool {
 	return found
 }
 
+// mentionsVar reports whether the range's prefix (base and sub-expression,
+// skipped when the prefix is exactly the bare variable) or the arguments of
+// suffixes up to and including the first constructor suffix reference name.
+func mentionsVar(r *ast.Range, firstCons int, name string, skipBare bool) bool {
+	found := false
+	check := func(rr *ast.Range) {
+		if rr.Var == name {
+			found = true
+		}
+	}
+	if !skipBare && r.Var == name {
+		found = true
+	}
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, check)
+	}
+	for i := 0; i <= firstCons && i < len(r.Suffixes); i++ {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil {
+				walkOne(a.Rel, check)
+			}
+		}
+	}
+	return found
+}
+
 func walkOne(r *ast.Range, fn func(*ast.Range)) {
 	fn(r)
 	if r.Sub != nil {
@@ -469,10 +863,18 @@ func walkOne(r *ast.Range, fn func(*ast.Range)) {
 	}
 }
 
-// classifyBranches precomputes, per branch, the occurrence markers and
-// whether semi-naive differentiation applies.
-func (inst *instance) classifyBranches() {
+// classifyBranches precomputes, per branch, the occurrence markers and the
+// base-formal occurrences, and whether semi-naive differentiation applies to
+// each. Bare binding ranges over the base formal are rewritten to $base#<n>
+// aliases here, so Resume can bind one occurrence at a time to a base delta.
+// Any base occurrence in a non-monotone position (under NOT, the range of an
+// ALL quantifier, a suffix argument) marks the whole system non-resumable:
+// growing the base could retract previously derived tuples, which a
+// tuple-adding resumption cannot express.
+func (s *system) classifyBranches(inst *instance) {
+	forVar := inst.cons.Decl.ForVar
 	inst.branches = make([]branchInfo, len(inst.body.Branches))
+	aliasCounter := 0
 	for i := range inst.body.Branches {
 		br := &inst.body.Branches[i]
 		info := &inst.branches[i]
@@ -481,25 +883,161 @@ func (inst *instance) classifyBranches() {
 		}
 		bare := make([]string, 0, len(br.Binds))
 		nested := false
+		baseNested := false
 		seen := func(r *ast.Range) {
 			if isMarkerName(r.Var) {
 				nested = true
 			}
+			if r.Var == forVar {
+				baseNested = true
+			}
 		}
-		for _, bd := range br.Binds {
+		for bi := range br.Binds {
+			bd := &br.Binds[bi]
 			if isMarkerName(bd.Range.Var) && bd.Range.Sub == nil && len(bd.Range.Suffixes) == 0 {
 				bare = append(bare, bd.Range.Var)
 				continue
+			}
+			if bd.Range.Var == forVar && bd.Range.Sub == nil && len(bd.Range.Suffixes) == 0 {
+				alias := fmt.Sprintf("%s%d", basePrefix, aliasCounter)
+				aliasCounter++
+				bd.Range.Var = alias
+				inst.aliases = append(inst.aliases, alias)
+				info.baseOccs = append(info.baseOccs, alias)
+				continue
+			}
+			// A base occurrence under a suffix application (a selector body
+			// may be non-monotone in its argument) or inside a nested
+			// sub-expression (whose internal predicates carry their own
+			// polarity structure) is beyond this analysis: growing the base
+			// could retract tuples there, so refuse to resume.
+			if baseOccurrenceUntracked(bd.Range, forVar) {
+				s.markNonResumable(fmt.Sprintf("constructor %s: base formal %q occurs under a derived binding range",
+					inst.cons.Decl.Name, forVar))
 			}
 			walkOne(bd.Range, seen)
 		}
 		if br.Where != nil {
 			predRangesOnly(br.Where, seen)
+			// The polarity scan decides monotonicity in the base; the range
+			// walk above only records that the base occurs at all.
+			if !predBaseMonotone(br.Where, forVar, true) {
+				s.markNonResumable(fmt.Sprintf("constructor %s: base formal %q occurs in a non-monotone position",
+					inst.cons.Decl.Name, forVar))
+			}
+		}
+		// A base occurrence inside a binding range's suffix arguments feeds a
+		// selector or constructor argument — monotonicity there depends on
+		// the applied body, so be conservative.
+		for bi := range br.Binds {
+			if rangeArgsMention(br.Binds[bi].Range, forVar) {
+				s.markNonResumable(fmt.Sprintf("constructor %s: base formal %q occurs in a suffix argument",
+					inst.cons.Decl.Name, forVar))
+			}
 		}
 		info.recursive = nested || len(bare) > 0
 		info.differentiable = !nested && len(bare) > 0
 		info.bindingOccs = bare
+		info.usesBase = baseNested || len(info.baseOccs) > 0
+		info.baseDiff = !baseNested && len(info.baseOccs) > 0
 	}
+}
+
+// baseOccurrenceUntracked reports whether name occurs inside r in a position
+// whose monotonicity the resumability analysis does not track: as the prefix
+// of a suffix application, or anywhere inside a nested set sub-expression.
+// (Suffix-argument occurrences are flagged separately by rangeArgsMention.)
+func baseOccurrenceUntracked(r *ast.Range, name string) bool {
+	if r.Var == name && len(r.Suffixes) > 0 {
+		return true
+	}
+	found := false
+	note := func(rr *ast.Range) {
+		if rr.Var == name {
+			found = true
+		}
+	}
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, note)
+	}
+	for i := range r.Suffixes {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil && (a.Rel.Var == name || baseOccurrenceUntracked(a.Rel, name)) {
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// rangeArgsMention reports whether name occurs inside any suffix argument of
+// the range (at any depth), as opposed to the range's own base position.
+func rangeArgsMention(r *ast.Range, name string) bool {
+	found := false
+	check := func(rr *ast.Range) {
+		if rr.Var == name {
+			found = true
+		}
+	}
+	for i := range r.Suffixes {
+		for _, a := range r.Suffixes[i].Args {
+			if a.Rel != nil {
+				walkOne(a.Rel, check)
+			}
+		}
+	}
+	if r.Sub != nil {
+		ast.WalkRanges(r.Sub, func(rr *ast.Range) {
+			if rangeArgsMention(rr, name) {
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// predBaseMonotone reports whether every occurrence of name inside the
+// predicate is in a set-monotone position under the given polarity: NOT
+// flips polarity, an ALL quantifier's range is antitone (ALL x IN R (p) ≡
+// NOT SOME x IN R (NOT p)), and SOME/membership ranges inherit the current
+// polarity. A name occurrence in a suffix argument is conservatively
+// non-monotone regardless of polarity.
+func predBaseMonotone(p ast.Pred, name string, positive bool) bool {
+	rangeOK := func(r *ast.Range, pos bool) bool {
+		// Only a bare occurrence at the range's own base position has a
+		// polarity this scan tracks; anywhere deeper (nested sub-expression,
+		// suffix application, suffix argument) is conservatively rejected.
+		if r.Var == name && (!pos || len(r.Suffixes) > 0) {
+			return false
+		}
+		ok := true
+		walkOne(r, func(rr *ast.Range) {
+			if rr != r && rr.Var == name {
+				ok = false
+			}
+			if rangeArgsMention(rr, name) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	switch q := p.(type) {
+	case ast.And:
+		return predBaseMonotone(q.L, name, positive) && predBaseMonotone(q.R, name, positive)
+	case ast.Or:
+		return predBaseMonotone(q.L, name, positive) && predBaseMonotone(q.R, name, positive)
+	case ast.Not:
+		return predBaseMonotone(q.P, name, !positive)
+	case ast.Quant:
+		rangePos := positive
+		if q.All {
+			rangePos = !positive
+		}
+		return rangeOK(q.Range, rangePos) && predBaseMonotone(q.Body, name, positive)
+	case ast.Member:
+		return rangeOK(q.Range, positive)
+	}
+	return true
 }
 
 // predRangesOnly walks ranges inside a predicate.
@@ -534,8 +1072,9 @@ func (s *system) NewRelation(i int) *relation.Relation {
 }
 
 // bindState binds every occurrence marker of inst to the referenced
-// instance's relation from the given state, applying overrides (deltas), and
-// resets the env's range memo.
+// instance's relation from the given state and every base alias to the
+// instance's base, applying overrides (deltas), and resets the env's range
+// memo.
 func (s *system) bindState(inst *instance, state []*relation.Relation, overrides map[string]*relation.Relation) {
 	for marker, key := range inst.occKeys {
 		ref := s.byKey[key]
@@ -544,6 +1083,13 @@ func (s *system) bindState(inst *instance, state []*relation.Relation, overrides
 			rel = o
 		}
 		inst.env.Rels[marker] = rel
+	}
+	for _, alias := range inst.aliases {
+		rel := inst.base
+		if o, ok := overrides[alias]; ok {
+			rel = o
+		}
+		inst.env.Rels[alias] = rel
 	}
 	inst.env.ResetMemo()
 }
@@ -583,6 +1129,40 @@ func (s *system) EvalIncrement(i int, cur, delta []*relation.Relation) (*relatio
 		default:
 			s.bindState(inst, cur, nil)
 			if err := inst.env.EvalBranchIntoExcluding(br, out, cur[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalBaseDelta is the first round of a Resume: the instance's base has grown
+// by delta (its formal and aliases are already rebound to the new base), the
+// recursive occurrences sit at the converged state, and the result is the set
+// of tuples newly derivable from the base growth. Branches whose base
+// occurrences are all bare aliases evaluate once per alias with that alias
+// restricted to the delta (other aliases see the full new base, so cross
+// terms are covered); branches using the base in a nested-but-monotone
+// position re-evaluate in full against the new base. Branches not mentioning
+// the base cannot produce anything new and are skipped.
+func (s *system) evalBaseDelta(inst *instance, cur []*relation.Relation, delta *relation.Relation) (*relation.Relation, error) {
+	out := relation.New(inst.cons.Result)
+	for bi := range inst.body.Branches {
+		info := inst.branches[bi]
+		br := &inst.body.Branches[bi]
+		switch {
+		case !info.usesBase:
+			continue
+		case info.baseDiff:
+			for _, alias := range info.baseOccs {
+				s.bindState(inst, cur, map[string]*relation.Relation{alias: delta})
+				if err := inst.env.EvalBranchIntoExcluding(br, out, cur[inst.index]); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			s.bindState(inst, cur, nil)
+			if err := inst.env.EvalBranchIntoExcluding(br, out, cur[inst.index]); err != nil {
 				return nil, err
 			}
 		}

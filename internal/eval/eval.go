@@ -480,12 +480,51 @@ func (e *Env) branchIntoExcluding(br *ast.Branch, out, except *relation.Relation
 		rels[i] = r
 	}
 
+	br, rels = reorderBinds(br, rels)
+
 	plan, err := e.planBranch(br, rels)
 	if err != nil {
 		return err
 	}
 
 	return e.runBranchPipeline(br, plan, rels, out, except)
+}
+
+// reorderBinds moves the binding with the smallest materialized range to the
+// front when it is substantially smaller than the current outer. Ranges are
+// materialized before the join loop runs, so they cannot reference sibling
+// binding variables and any binding order computes the same branch result;
+// driving the join from the small side matters most when the semi-naive
+// engine differentiates a branch — the delta-bound occurrence becomes the
+// outer scan and the large, unchanged relations become (memoized) index build
+// sides, making a round's cost proportional to the delta. The 8x threshold
+// keeps comparable-size joins in declaration order, where plans and operator
+// stats are predictable.
+func reorderBinds(br *ast.Branch, rels []*relation.Relation) (*ast.Branch, []*relation.Relation) {
+	if len(rels) < 2 {
+		return br, rels
+	}
+	smallest := 0
+	for i := 1; i < len(rels); i++ {
+		if rels[i].Len() < rels[smallest].Len() {
+			smallest = i
+		}
+	}
+	if smallest == 0 || rels[smallest].Len()*8 >= rels[0].Len() {
+		return br, rels
+	}
+	nb := *br
+	nb.Binds = make([]ast.Binding, 0, len(br.Binds))
+	nr := make([]*relation.Relation, 0, len(rels))
+	nb.Binds = append(nb.Binds, br.Binds[smallest])
+	nr = append(nr, rels[smallest])
+	for i := range br.Binds {
+		if i != smallest {
+			nb.Binds = append(nb.Binds, br.Binds[i])
+			nr = append(nr, rels[i])
+		}
+	}
+	return &nb, nr
 }
 
 // branchPlan holds per-binding probe and residual scheduling decisions.
@@ -639,7 +678,7 @@ func (e *Env) planBranch(br *ast.Branch, rels []*relation.Relation) (*branchPlan
 		plan.probeFields[i] = okFields
 		plan.probeTerms[i] = okTerms
 		if len(positions) > 0 {
-			plan.indexes[i] = relation.BuildIndexParallel(rels[i], positions, e.buildWorkers())
+			plan.indexes[i] = rels[i].IndexOn(positions, e.buildWorkers())
 		}
 	}
 	return plan, nil

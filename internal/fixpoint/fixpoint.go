@@ -249,7 +249,44 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 			stats.MaxDeltaSize = cur[i].Len()
 		}
 	}
+	return semiNaiveLoop(ev, opts, cur, delta, nil, stats)
+}
 
+// SemiNaiveResume continues a semi-naive iteration from a known state: cur is
+// the accumulated per-equation state (which must already include delta) and
+// delta the tuples newly added to it that have not yet been propagated —
+// exactly the invariant SemiNaive maintains between rounds. Materialized-view
+// maintenance uses it to absorb a base-relation delta without refixpointing.
+//
+// Relations in cur whose owned flag is false are never mutated: a slot that
+// grows is replaced by a clone first (copy-on-write), so callers may keep
+// serving the input state to concurrent readers while the resumed iteration
+// runs. A nil owned treats every slot as shared.
+func SemiNaiveResume(ev Evaluator, cur, delta []*relation.Relation, owned []bool, opts Options) ([]*relation.Relation, Stats, error) {
+	n := ev.N()
+	state := make([]*relation.Relation, n)
+	copy(state, cur)
+	d := make([]*relation.Relation, n)
+	copy(d, delta)
+	own := make([]bool, n)
+	if owned != nil {
+		copy(own, owned)
+	}
+	var stats Stats
+	for i := 0; i < n; i++ {
+		if d[i].Len() > stats.MaxDeltaSize {
+			stats.MaxDeltaSize = d[i].Len()
+		}
+	}
+	return semiNaiveLoop(ev, opts, state, d, own, stats)
+}
+
+// semiNaiveLoop is the shared differential iteration: each round derives new
+// tuples only from the previous round's deltas, until every delta is empty.
+// owned[i] false marks cur[i] as shared with callers; it is cloned before its
+// first growth. A nil owned means every slot may be mutated in place.
+func semiNaiveLoop(ev Evaluator, opts Options, cur, delta []*relation.Relation, owned []bool, stats Stats) ([]*relation.Relation, Stats, error) {
+	n := ev.N()
 	for {
 		quiet := true
 		for i := 0; i < n; i++ {
@@ -282,6 +319,10 @@ func SemiNaive(ev Evaluator, opts Options) ([]*relation.Relation, Stats, error) 
 		}
 		stats.Evaluations += n
 		for i := 0; i < n; i++ {
+			if next[i].Len() > 0 && owned != nil && !owned[i] {
+				cur[i] = cur[i].Clone()
+				owned[i] = true
+			}
 			cur[i].UnionInto(next[i])
 			delta[i] = next[i]
 			if next[i].Len() > stats.MaxDeltaSize {

@@ -36,8 +36,25 @@ func (e *KeyConflictError) Error() string {
 		e.Relation, e.Existing, e.Incoming)
 }
 
+// layer is one frozen map pair captured from a cloned relation: a snapshot of
+// the clone source's own tuples at clone time. Layers are never written
+// through; the capturing relation's mutations land in its own maps, and the
+// captured relation copies its maps before its next mutation (ensureOwned).
+type layer struct {
+	tuples map[string]value.Tuple
+	whole  map[string]struct{}
+}
+
 // Relation is a mutable set of tuples of a fixed relation type. The zero
 // value is not usable; construct with New.
+//
+// A relation's content is its own maps plus the frozen under-layers captured
+// from clone sources; the layers are key-disjoint, so every lookup resolves in
+// the first layer holding the key. This makes Clone O(1) in the relation size
+// — the copy-on-write republish cycle (store writes, resumed fixpoints) pays
+// for the tuples it adds, not for the state it carries forward. Clone
+// flattens when the overlay outgrows the base or the chain gets deep, bounding
+// lookup cost and amortizing the flatten over many cheap clones.
 type Relation struct {
 	typ    schema.RelationType
 	keyPos []int
@@ -47,6 +64,39 @@ type Relation struct {
 	// whole maps the full-tuple encoding to struct{}; maintained only when
 	// the key is a proper subset of the attributes, to make Contains exact.
 	whole map[string]struct{}
+	// under holds the frozen base layers, newest first, key-disjoint with the
+	// own maps and each other.
+	under []*layer
+	// ownShared marks the own maps as captured by a clone's under chain: they
+	// must be copied before the next mutation.
+	ownShared bool
+
+	// version counts content mutations; memoized indexes are valid only for
+	// the version they were built at. Mutation and reads are never concurrent
+	// on the same relation (writers publish fresh pointers), so the counter
+	// needs no synchronization of its own.
+	version uint64
+	// idxMu guards idx against concurrent readers memoizing indexes on a
+	// shared (published, hence unmutated) relation.
+	idxMu sync.Mutex
+	idx   map[string]idxEntry
+
+	// inherited carries the clone source's memoized indexes, valid for this
+	// relation's content at clone time; pending lists the tuples added since.
+	// IndexOn layers pending over an inherited index instead of rebuilding
+	// from scratch, so a copy-on-write republish (store writes, resumed
+	// fixpoints) costs O(tuples added) rather than O(relation) on its next
+	// indexed join. Deletions and clears drop the inheritance — overlays only
+	// model growth.
+	inherited map[string]*Index
+	pending   []value.Tuple
+}
+
+// idxEntry is one memoized index together with the relation version it
+// reflects.
+type idxEntry struct {
+	ver uint64
+	idx *Index
 }
 
 // New creates an empty relation of the given type.
@@ -88,10 +138,81 @@ func MustFromTuples(typ schema.RelationType, tuples ...value.Tuple) *Relation {
 func (r *Relation) Type() schema.RelationType { return r.typ }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	n := len(r.tuples)
+	for _, l := range r.under {
+		n += len(l.tuples)
+	}
+	return n
+}
 
 // IsEmpty reports whether the relation holds no tuples.
-func (r *Relation) IsEmpty() bool { return len(r.tuples) == 0 }
+func (r *Relation) IsEmpty() bool { return r.Len() == 0 }
+
+// get resolves a key across the own maps and the under chain.
+func (r *Relation) get(k string) (value.Tuple, bool) {
+	if t, ok := r.tuples[k]; ok {
+		return t, true
+	}
+	for _, l := range r.under {
+		if t, ok := l.tuples[k]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// ensureOwned copies the own maps if a clone captured them, so the pending
+// mutation cannot reach through the clone's frozen under chain.
+func (r *Relation) ensureOwned() {
+	if !r.ownShared {
+		return
+	}
+	tuples := make(map[string]value.Tuple, len(r.tuples))
+	for k, t := range r.tuples {
+		tuples[k] = t
+	}
+	r.tuples = tuples
+	if r.whole != nil {
+		whole := make(map[string]struct{}, len(r.whole))
+		for k := range r.whole {
+			whole[k] = struct{}{}
+		}
+		r.whole = whole
+	}
+	r.ownShared = false
+}
+
+// materialize folds the under chain into fresh own maps; needed before
+// operations that cannot work layered (deletion of a tuple living in a frozen
+// layer).
+func (r *Relation) materialize() {
+	if len(r.under) == 0 {
+		r.ensureOwned()
+		return
+	}
+	n := r.Len()
+	tuples := make(map[string]value.Tuple, n)
+	var whole map[string]struct{}
+	if r.whole != nil {
+		whole = make(map[string]struct{}, n)
+	}
+	take := func(tup map[string]value.Tuple, wh map[string]struct{}) {
+		for k, t := range tup {
+			tuples[k] = t
+		}
+		if whole != nil {
+			for k := range wh {
+				whole[k] = struct{}{}
+			}
+		}
+	}
+	for i := len(r.under) - 1; i >= 0; i-- {
+		take(r.under[i].tuples, r.under[i].whole)
+	}
+	take(r.tuples, r.whole)
+	r.tuples, r.whole, r.under, r.ownShared = tuples, whole, nil, false
+}
 
 func (r *Relation) keyOf(t value.Tuple) string {
 	if len(r.keyPos) == len(t) {
@@ -109,16 +230,19 @@ func (r *Relation) Insert(t value.Tuple) error {
 			r.typ.Name, t, r.typ.Element)
 	}
 	k := r.keyOf(t)
-	if old, ok := r.tuples[k]; ok {
+	if old, ok := r.get(k); ok {
 		if old.Equal(t) {
 			return nil
 		}
 		return &KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: t}
 	}
+	r.ensureOwned()
 	r.tuples[k] = t
 	if r.whole != nil {
 		r.whole[t.Key()] = struct{}{}
 	}
+	r.version++
+	r.noteAdd(t)
 	return nil
 }
 
@@ -127,47 +251,75 @@ func (r *Relation) Insert(t value.Tuple) error {
 // derived relations always have whole-tuple keys.
 func (r *Relation) Add(t value.Tuple) bool {
 	k := r.keyOf(t)
-	if old, ok := r.tuples[k]; ok {
+	if old, ok := r.get(k); ok {
 		if !old.Equal(t) {
 			panic((&KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: t}).Error())
 		}
 		return false
 	}
+	r.ensureOwned()
 	r.tuples[k] = t
 	if r.whole != nil {
 		r.whole[t.Key()] = struct{}{}
 	}
+	r.version++
+	r.noteAdd(t)
 	return true
 }
 
+// noteAdd records a tuple added since this relation was cloned, so IndexOn can
+// overlay it onto an inherited index. When the backlog outgrows a fraction of
+// the relation, the inheritance is dropped: a full rebuild is then cheaper
+// than dragging a large overlay through future clones.
+func (r *Relation) noteAdd(t value.Tuple) {
+	if r.inherited == nil {
+		return
+	}
+	r.pending = append(r.pending, t)
+	if len(r.pending) > 1024+r.Len()/8 {
+		r.inherited, r.pending = nil, nil
+	}
+}
+
 // Delete removes the tuple equal to t, reporting whether it was present.
+// A tuple living in a frozen under layer forces materialization first.
 func (r *Relation) Delete(t value.Tuple) bool {
 	k := r.keyOf(t)
-	old, ok := r.tuples[k]
+	old, ok := r.get(k)
 	if !ok || !old.Equal(t) {
 		return false
 	}
+	r.materialize()
 	delete(r.tuples, k)
 	if r.whole != nil {
 		delete(r.whole, t.Key())
 	}
+	r.version++
+	r.inherited, r.pending = nil, nil
 	return true
 }
 
 // Contains reports set membership of an exact tuple.
 func (r *Relation) Contains(t value.Tuple) bool {
+	k := t.Key()
 	if r.whole != nil {
-		_, ok := r.whole[t.Key()]
-		return ok
+		if _, ok := r.whole[k]; ok {
+			return true
+		}
+		for _, l := range r.under {
+			if _, ok := l.whole[k]; ok {
+				return true
+			}
+		}
+		return false
 	}
-	old, ok := r.tuples[t.Key()]
+	old, ok := r.get(k)
 	return ok && old.Equal(t)
 }
 
 // LookupKey returns the tuple with the given key attribute values, if any.
 func (r *Relation) LookupKey(key value.Tuple) (value.Tuple, bool) {
-	t, ok := r.tuples[key.Key()]
-	return t, ok
+	return r.get(key.Key())
 }
 
 // Each calls fn for every tuple in unspecified order; fn returning false
@@ -176,6 +328,13 @@ func (r *Relation) Each(fn func(value.Tuple) bool) {
 	for _, t := range r.tuples {
 		if !fn(t) {
 			return
+		}
+	}
+	for _, l := range r.under {
+		for _, t := range l.tuples {
+			if !fn(t) {
+				return
+			}
 		}
 	}
 }
@@ -190,6 +349,13 @@ func (r *Relation) All() iter.Seq[value.Tuple] {
 				return
 			}
 		}
+		for _, l := range r.under {
+			for _, t := range l.tuples {
+				if !yield(t) {
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -197,10 +363,11 @@ func (r *Relation) All() iter.Seq[value.Tuple] {
 // of Tuples for callers that partition work over the tuple set (the parallel
 // executor) and do not need deterministic ordering.
 func (r *Relation) Slice() []value.Tuple {
-	out := make([]value.Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
+	out := make([]value.Tuple, 0, r.Len())
+	r.Each(func(t value.Tuple) bool {
 		out = append(out, t)
-	}
+		return true
+	})
 	return out
 }
 
@@ -228,16 +395,19 @@ func (r *Relation) KeyedOf(t value.Tuple) Keyed {
 // element type's domain predicate — the executor validates tuples when it
 // projects them, before handing them to the sink.
 func (r *Relation) InsertKeyed(kd Keyed) error {
-	if old, ok := r.tuples[kd.K]; ok {
+	if old, ok := r.get(kd.K); ok {
 		if old.Equal(kd.T) {
 			return nil
 		}
 		return &KeyConflictError{Relation: r.typ.Name, Existing: old, Incoming: kd.T}
 	}
+	r.ensureOwned()
 	r.tuples[kd.K] = kd.T
 	if r.whole != nil {
 		r.whole[kd.W] = struct{}{}
 	}
+	r.version++
+	r.noteAdd(kd.T)
 	return nil
 }
 
@@ -245,35 +415,117 @@ func (r *Relation) InsertKeyed(kd Keyed) error {
 // KeyedOf against a relation of the same type.
 func (r *Relation) ContainsKeyed(kd Keyed) bool {
 	if r.whole != nil {
-		_, ok := r.whole[kd.W]
-		return ok
+		if _, ok := r.whole[kd.W]; ok {
+			return true
+		}
+		for _, l := range r.under {
+			if _, ok := l.whole[kd.W]; ok {
+				return true
+			}
+		}
+		return false
 	}
-	old, ok := r.tuples[kd.K]
+	old, ok := r.get(kd.K)
 	return ok && old.Equal(kd.T)
 }
 
 // Tuples returns all tuples in deterministic (lexicographic) order.
 func (r *Relation) Tuples() []value.Tuple {
-	out := make([]value.Tuple, 0, len(r.tuples))
-	for _, t := range r.tuples {
-		out = append(out, t)
-	}
+	out := r.Slice()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// Clone returns a deep-enough copy (tuples are immutable, maps are copied).
+// maxUnderDepth bounds the under chain: Clone flattens past it, so a lookup
+// probes at most maxUnderDepth+1 maps and the O(relation) flatten cost is
+// amortized over that many O(1) clones.
+const maxUnderDepth = 32
+
+// Clone returns a copy with value semantics (tuples are immutable; content is
+// never shared mutably).
+//
+// The copy is O(1) in the relation size: the source's maps are captured as
+// frozen under-layers, the clone's mutations land in its own fresh maps, and
+// the source copies its maps before its next mutation. Clone falls back to a
+// flat deep copy when the overlay chain is deep or has outgrown a quarter of
+// the base layer.
+//
+// The clone also inherits the source's currently valid memoized indexes: its
+// first IndexOn per signature overlays the tuples added since the clone
+// instead of rebuilding, keeping indexed-join cost proportional to the delta
+// across the copy-on-write republish cycle. A source with no valid memo of
+// its own forwards its inheritance (with the pending backlog copied), so
+// chains of clones between reads still resolve to one frozen base index.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{typ: r.typ, keyPos: r.keyPos,
-		tuples: make(map[string]value.Tuple, len(r.tuples))}
-	for k, t := range r.tuples {
-		c.tuples[k] = t
+	// Small relations clone flat: the copy is cheap and the layered
+	// bookkeeping (capture, deferred own-map copy, multi-map lookups) would
+	// cost more than it saves.
+	const minLayeredClone = 1024
+	base := len(r.tuples)
+	if n := len(r.under); n > 0 {
+		base = len(r.under[n-1].tuples)
 	}
-	if r.whole != nil {
-		c.whole = make(map[string]struct{}, len(r.whole))
-		for k := range r.whole {
-			c.whole[k] = struct{}{}
+	var c *Relation
+	if base < minLayeredClone || len(r.under) >= maxUnderDepth || r.Len()-base > base/4 {
+		c = r.flatClone()
+	} else {
+		c = &Relation{typ: r.typ, keyPos: r.keyPos,
+			tuples: make(map[string]value.Tuple)}
+		if r.whole != nil {
+			c.whole = make(map[string]struct{})
 		}
+		if len(r.tuples) > 0 || len(r.under) == 0 {
+			c.under = make([]*layer, 0, len(r.under)+1)
+			c.under = append(c.under, &layer{tuples: r.tuples, whole: r.whole})
+			c.under = append(c.under, r.under...)
+		} else {
+			c.under = append([]*layer(nil), r.under...)
+		}
+	}
+	r.idxMu.Lock()
+	if len(c.under) > 0 && len(c.tuples) == 0 {
+		// The own maps were captured above; idxMu serializes the flag write
+		// against another goroutine cloning this published relation.
+		r.ownShared = true
+	}
+	for sig, e := range r.idx {
+		if e.ver != r.version {
+			continue
+		}
+		if c.inherited == nil {
+			c.inherited = make(map[string]*Index, len(r.idx))
+		}
+		c.inherited[sig] = e.idx
+	}
+	r.idxMu.Unlock()
+	if c.inherited == nil && r.inherited != nil {
+		c.inherited = r.inherited
+		c.pending = append([]value.Tuple(nil), r.pending...)
+	}
+	return c
+}
+
+// flatClone is the layered-representation-free deep copy.
+func (r *Relation) flatClone() *Relation {
+	n := r.Len()
+	c := &Relation{typ: r.typ, keyPos: r.keyPos,
+		tuples: make(map[string]value.Tuple, n)}
+	if r.whole != nil {
+		c.whole = make(map[string]struct{}, n)
+	}
+	take := func(tup map[string]value.Tuple, wh map[string]struct{}) {
+		for k, t := range tup {
+			c.tuples[k] = t
+		}
+		if c.whole != nil {
+			for k := range wh {
+				c.whole[k] = struct{}{}
+			}
+		}
+	}
+	take(r.tuples, r.whole)
+	for _, l := range r.under {
+		take(l.tuples, l.whole)
 	}
 	return c
 }
@@ -284,6 +536,9 @@ func (r *Relation) Clear() {
 	if r.whole != nil {
 		r.whole = make(map[string]struct{})
 	}
+	r.under, r.ownShared = nil, false
+	r.version++
+	r.inherited, r.pending = nil, nil
 }
 
 // Equal reports set equality with another relation of positionally compatible
@@ -407,10 +662,17 @@ func (r *Relation) WriteTo(w io.Writer) (int64, error) {
 
 // Index is a hash index over a projection of a relation's attributes, used by
 // the set-oriented evaluator for equi-joins (the f.back = b.head joins of the
-// ahead constructor).
+// ahead constructor). An index is immutable once built.
+//
+// An index either holds all its tuples in buckets (base nil), or is an
+// overlay: buckets holds only the tuples added since the frozen base index
+// was built, and probes merge both layers. Overlays are produced by IndexOn
+// for cloned relations; base is always a flat index, so the layering never
+// exceeds depth one.
 type Index struct {
 	positions []int
 	buckets   map[string][]value.Tuple
+	base      *Index
 }
 
 // BuildIndex indexes the relation on the given attribute positions.
@@ -473,10 +735,105 @@ func BuildIndexParallel(r *Relation, positions []int, workers int) *Index {
 	return idx
 }
 
+// IndexOn returns a hash index on positions, memoizing it on the relation.
+// A memoized index is reused as long as the relation's content has not
+// changed since it was built, which turns the join build side from a
+// per-evaluation cost into a once-per-relation-version cost — the difference
+// between O(relation) and O(delta) work when a fixpoint is resumed with a
+// small delta against large, unchanged relations. Relations shared between
+// goroutines are published and therefore unmutated, so concurrent IndexOn
+// calls are safe (the worst case is two racers building the same index and
+// one winning the memo slot).
+func (r *Relation) IndexOn(positions []int, workers int) *Index {
+	var sb strings.Builder
+	for _, p := range positions {
+		fmt.Fprintf(&sb, "%d,", p)
+	}
+	sig := sb.String()
+	r.idxMu.Lock()
+	if e, ok := r.idx[sig]; ok && e.ver == r.version {
+		r.idxMu.Unlock()
+		return e.idx
+	}
+	ver := r.version
+	base := r.inherited[sig]
+	pending := r.pending
+	r.idxMu.Unlock()
+	var idx *Index
+	if base != nil {
+		idx = overlayIndex(base, pending, positions, r.Len()/4)
+	}
+	if idx == nil {
+		idx = BuildIndexParallel(r, positions, workers)
+	}
+	r.idxMu.Lock()
+	if r.idx == nil {
+		r.idx = make(map[string]idxEntry)
+	}
+	r.idx[sig] = idxEntry{ver: ver, idx: idx}
+	r.idxMu.Unlock()
+	return idx
+}
+
+// overlayIndex layers the tuples added since a clone over the clone source's
+// index, flattening an overlay source so the result references a single
+// frozen base. It declines (nil) when the accumulated overlay would exceed
+// limit tuples — past that point a full rebuild is cheaper than dragging an
+// ever-growing overlay through future clones.
+func overlayIndex(base *Index, pending []value.Tuple, positions []int, limit int) *Index {
+	full := base
+	var prior map[string][]value.Tuple
+	if base.base != nil {
+		full, prior = base.base, base.buckets
+	}
+	size := len(pending)
+	for _, ts := range prior {
+		size += len(ts)
+	}
+	if size > limit {
+		return nil
+	}
+	buckets := make(map[string][]value.Tuple, len(prior)+len(pending))
+	for k, ts := range prior {
+		// Capacity-clipped alias: a later append reallocates instead of
+		// writing into the source overlay's backing array.
+		buckets[k] = ts[:len(ts):len(ts)]
+	}
+	for _, t := range pending {
+		k := t.Project(positions).Key()
+		buckets[k] = append(buckets[k], t)
+	}
+	return &Index{positions: positions, buckets: buckets, base: full}
+}
+
 // Probe returns the tuples whose indexed projection equals key.
 func (idx *Index) Probe(key value.Tuple) []value.Tuple {
-	return idx.buckets[key.Key()]
+	k := key.Key()
+	own := idx.buckets[k]
+	if idx.base == nil {
+		return own
+	}
+	under := idx.base.buckets[k]
+	if len(own) == 0 {
+		return under
+	}
+	if len(under) == 0 {
+		return own
+	}
+	merged := make([]value.Tuple, 0, len(under)+len(own))
+	return append(append(merged, under...), own...)
 }
 
 // Len returns the number of distinct keys in the index.
-func (idx *Index) Len() int { return len(idx.buckets) }
+func (idx *Index) Len() int {
+	if idx.base == nil {
+		return len(idx.buckets)
+	}
+	n := len(idx.base.buckets)
+	for k := range idx.buckets {
+		if _, ok := idx.base.buckets[k]; !ok {
+			n++
+		}
+	}
+	return n
+}

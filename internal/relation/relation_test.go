@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -300,5 +301,132 @@ func TestBuildIndexParallelMatchesSerial(t *testing.T) {
 	small := MustFromTuples(binT, pair("a", "b"))
 	if got := BuildIndexParallel(small, []int{0}, 8); got.Len() != 1 {
 		t.Errorf("small parallel build: %d", got.Len())
+	}
+}
+
+// bigRel builds a relation large enough to take the layered Clone path.
+func bigRel(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := New(binT)
+	for i := 0; i < n; i++ {
+		if err := r.Insert(pair(fmt.Sprintf("s%06d", i), fmt.Sprintf("d%06d", i%97))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestLayeredCloneValueSemantics(t *testing.T) {
+	r := bigRel(t, 3000)
+	snapshot := r.Tuples()
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Fatal("clone differs from source")
+	}
+	// Mutating the clone must not reach the source...
+	c.Add(pair("new", "edge"))
+	if r.Contains(pair("new", "edge")) || r.Len() != 3000 || c.Len() != 3001 {
+		t.Fatalf("clone mutation leaked into source: r=%d c=%d", r.Len(), c.Len())
+	}
+	// ...and mutating the source must not reach the clone, even though the
+	// clone captured the source's maps as a frozen layer.
+	if err := r.Insert(pair("src", "only")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(pair("src", "only")) {
+		t.Fatal("source mutation leaked into clone")
+	}
+	if got := r.Tuples(); len(got) != len(snapshot)+1 {
+		t.Fatalf("source len after insert: %d", len(got))
+	}
+	// Chained clones: each generation sees exactly its own additions.
+	g2 := c.Clone()
+	g2.Add(pair("gen", "2"))
+	g3 := g2.Clone()
+	g3.Add(pair("gen", "3"))
+	if c.Len() != 3001 || g2.Len() != 3002 || g3.Len() != 3003 {
+		t.Fatalf("chained clone lens: %d %d %d", c.Len(), g2.Len(), g3.Len())
+	}
+	if g2.Contains(pair("gen", "3")) || !g3.Contains(pair("gen", "2")) {
+		t.Fatal("chained clone containment broken")
+	}
+	// Delete against a tuple held in a frozen layer materializes and works.
+	if !g3.Delete(snapshot[0]) || g3.Contains(snapshot[0]) || g3.Len() != 3002 {
+		t.Fatal("delete through frozen layer failed")
+	}
+	if !c.Contains(snapshot[0]) || !g2.Contains(snapshot[0]) {
+		t.Fatal("delete in one generation leaked into another")
+	}
+}
+
+func TestLayeredCloneFlattensDeepChains(t *testing.T) {
+	r := bigRel(t, 2000)
+	for i := 0; i < 3*maxUnderDepth; i++ {
+		r = r.Clone()
+		r.Add(pair(fmt.Sprintf("g%04d", i), "x"))
+		if len(r.under) > maxUnderDepth {
+			t.Fatalf("generation %d: under depth %d exceeds cap", i, len(r.under))
+		}
+	}
+	if r.Len() != 2000+3*maxUnderDepth {
+		t.Fatalf("len after chained clones: %d", r.Len())
+	}
+}
+
+func TestIndexOnOverlayAfterClone(t *testing.T) {
+	r := bigRel(t, 3000)
+	base := r.IndexOn([]int{1}, 1)
+	c := r.Clone()
+	c.Add(pair("extra1", "d000001"))
+	c.Add(pair("extra2", "dZZZZZZ"))
+	idx := c.IndexOn([]int{1}, 1)
+	if idx.base == nil {
+		t.Fatal("clone's index did not overlay the inherited base")
+	}
+	if idx.base != base {
+		t.Fatal("overlay does not reference the source's memoized index")
+	}
+	// The overlay must see both the inherited bucket and the new tuples.
+	key := value.NewTuple(value.Str("d000001"))
+	want := len(base.Probe(key)) + 1
+	if got := len(idx.Probe(key)); got != want {
+		t.Fatalf("overlay probe: got %d want %d", got, want)
+	}
+	if got := len(idx.Probe(value.NewTuple(value.Str("dZZZZZZ")))); got != 1 {
+		t.Fatalf("overlay-only bucket: %d", got)
+	}
+	// Flattened second generation: the grandchild's overlay still resolves to
+	// the one frozen full index, not a chain.
+	g2 := c.Clone()
+	g2.Add(pair("extra3", "d000001"))
+	idx2 := g2.IndexOn([]int{1}, 1)
+	if idx2.base != base {
+		t.Fatal("second-generation overlay did not flatten onto the full base")
+	}
+	if got := len(idx2.Probe(key)); got != want+1 {
+		t.Fatalf("second-generation probe: got %d want %d", got, want+1)
+	}
+	// Every bucket agrees with a from-scratch build.
+	fresh := BuildIndex(g2, []int{1})
+	g2.Each(func(tup value.Tuple) bool {
+		k := tup.Project([]int{1})
+		if len(fresh.Probe(k)) != len(idx2.Probe(k)) {
+			t.Fatalf("bucket %s: fresh=%d overlay=%d", k, len(fresh.Probe(k)), len(idx2.Probe(k)))
+		}
+		return true
+	})
+}
+
+func TestIndexOnInvalidatedByDelete(t *testing.T) {
+	r := bigRel(t, 3000)
+	r.IndexOn([]int{0}, 1)
+	c := r.Clone()
+	victim := r.Tuples()[0]
+	if !c.Delete(victim) {
+		t.Fatal("delete failed")
+	}
+	idx := c.IndexOn([]int{0}, 1)
+	if got := len(idx.Probe(victim.Project([]int{0}))); got != 0 {
+		t.Fatalf("index after delete still serves the victim: %d", got)
 	}
 }

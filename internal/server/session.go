@@ -709,6 +709,14 @@ func (s *session) handleHealth() error {
 	if dh.Cause != nil {
 		h.Cause = dh.Cause.Error()
 	}
+	if mv := dh.MatViews; mv.Enabled {
+		h.MatEnabled = true
+		h.MatEntries = uint64(mv.Entries)
+		h.MatHits = mv.Hits
+		h.MatMisses = mv.Misses
+		h.MatMaintained = mv.Maintained
+		h.MatBacklog = uint64(mv.Backlog)
+	}
 	if r := s.srv.opts.Replica; r != nil {
 		st := r.Status()
 		h.Applied = st.Applied

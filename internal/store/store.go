@@ -61,6 +61,25 @@ type Logger interface {
 	Checkpoint(state func(io.Writer) error) error
 }
 
+// Observer receives every committed mutation synchronously at the store's
+// publication points — the same choke point the WAL Logger and the
+// subscription fan-out use — with the new published relation pointer in hand.
+// The materialized-view cache implements it to maintain derived results
+// incrementally.
+//
+// CommittedGrow reports growth expressible as a tuple delta: next is exactly
+// the previous published value plus tuples (Insert, and insert-only Tx writes
+// whose base was not overtaken). CommittedReset reports everything else — an
+// Assign overwrite, a Tx write that replaced or shrank the value, a fresh
+// Declare — for which the only safe reaction is invalidation.
+//
+// Both calls run with the database's write lock held: they must be fast and,
+// like a Logger, must never call back into the Database.
+type Observer interface {
+	CommittedGrow(name string, tuples []value.Tuple, next *relation.Relation)
+	CommittedReset(name string, next *relation.Relation)
+}
+
 // Guard is a tuple predicate enforced on assignment (a selector's predicate
 // with its parameters instantiated).
 type Guard struct {
@@ -106,6 +125,9 @@ type Database struct {
 	// subs are the attached log subscribers (replication streams); they
 	// receive every committed batch after the logger has accepted it.
 	subs []*Subscription
+	// observer, when set, is notified synchronously at every publication
+	// point (see Observer).
+	observer Observer
 
 	// pathMu guards the lazily built physical access paths (section 4's
 	// "physical access path ... partitions [the relation] according to the
@@ -146,6 +168,8 @@ func (db *Database) Declare(name string, typ schema.RelationType) error {
 	}
 	db.vars[name] = relation.New(typ)
 	db.typs[name] = typ
+	// A fresh declaration can change what a cached name resolves to.
+	db.observeReset(name, db.vars[name])
 	return nil
 }
 
@@ -245,6 +269,56 @@ func (db *Database) dropSubLocked(s *Subscription) {
 			return
 		}
 	}
+}
+
+// SetObserver attaches (nil detaches) the commit observer. The observer sees
+// only mutations committed after the call.
+func (db *Database) SetObserver(o Observer) {
+	db.mu.Lock()
+	db.observer = o
+	db.mu.Unlock()
+}
+
+// observeGrow and observeReset notify the attached observer at a publication
+// point. Caller holds db.mu.
+func (db *Database) observeGrow(name string, tuples []value.Tuple, next *relation.Relation) {
+	if db.observer != nil && len(tuples) > 0 {
+		db.observer.CommittedGrow(name, tuples, next)
+	}
+}
+
+func (db *Database) observeReset(name string, next *relation.Relation) {
+	if db.observer != nil {
+		db.observer.CommittedReset(name, next)
+	}
+}
+
+// NameOf returns the variable whose current published value is rel (pointer
+// identity — published values are immutable and every write publishes a fresh
+// pointer, so a match means rel is exactly some variable's current state).
+func (db *Database) NameOf(rel *relation.Relation) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for n, r := range db.vars {
+		if r == rel {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// ReadLocked runs fn with the database read-locked, passing a getter over the
+// current variable bindings. No mutation can publish (and therefore no
+// Observer callback can run) while fn executes, which lets a cache verify a
+// set of published pointers and install an entry atomically with respect to
+// writers. fn must not call back into the Database.
+func (db *Database) ReadLocked(fn func(get func(string) (*relation.Relation, bool))) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fn(func(name string) (*relation.Relation, bool) {
+		r, ok := db.vars[name]
+		return r, ok
+	})
 }
 
 // SetLogger attaches (nil detaches) the write-ahead logger without logging
@@ -376,6 +450,7 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 	}
 	db.dropPaths(db.vars[name])
 	db.vars[name] = out
+	db.observeReset(name, out)
 	return nil
 }
 
@@ -404,6 +479,7 @@ func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 	}
 	db.dropPaths(r)
 	db.vars[name] = next
+	db.observeGrow(name, tuples, next)
 	return nil
 }
 
@@ -520,6 +596,13 @@ type Tx struct {
 	overlay map[string]*relation.Relation
 	base    map[string]*relation.Relation
 	done    bool
+	// inserted tracks, per variable, the tuples added by Tx.Insert while the
+	// write set for that variable is still pure growth over the Begin
+	// snapshot; a Tx.Assign overwrites the variable and moves it to
+	// overwritten permanently. Commit uses this to classify each published
+	// write as an observable delta (CommittedGrow) or a reset.
+	inserted    map[string][]value.Tuple
+	overwritten map[string]bool
 }
 
 // Begin starts a transaction over a stable snapshot.
@@ -530,7 +613,13 @@ func (db *Database) Begin() *Tx {
 	for n, r := range db.vars {
 		base[n] = r
 	}
-	return &Tx{db: db, base: base, overlay: make(map[string]*relation.Relation)}
+	return &Tx{
+		db:          db,
+		base:        base,
+		overlay:     make(map[string]*relation.Relation),
+		inserted:    make(map[string][]value.Tuple),
+		overwritten: make(map[string]bool),
+	}
 }
 
 // Get reads a variable inside the transaction.
@@ -557,6 +646,8 @@ func (tx *Tx) Assign(name string, rex *relation.Relation, guards ...Guard) error
 		return err
 	}
 	tx.overlay[name] = out
+	tx.overwritten[name] = true
+	delete(tx.inserted, name)
 	return nil
 }
 
@@ -578,6 +669,9 @@ func (tx *Tx) Insert(name string, tuples ...value.Tuple) error {
 		}
 	}
 	tx.overlay[name] = cur
+	if !tx.overwritten[name] {
+		tx.inserted[name] = append(tx.inserted[name], tuples...)
+	}
 	return nil
 }
 
@@ -615,7 +709,18 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	for n, r := range tx.overlay {
 		tx.db.dropPaths(tx.db.vars[n])
+		prev := tx.db.vars[n]
 		tx.db.vars[n] = r
+		// The write is an observable delta only if it is pure insert growth
+		// AND the variable still holds the Begin snapshot: a concurrent
+		// writer between Begin and Commit means r is base+inserts over a
+		// value that is no longer published (last-writer-wins replacement),
+		// so the delta relative to prev is not the insert list.
+		if tups, ok := tx.inserted[n]; ok && !tx.overwritten[n] && tx.base[n] == prev {
+			tx.db.observeGrow(n, tups, r)
+		} else {
+			tx.db.observeReset(n, r)
+		}
 	}
 	return nil
 }

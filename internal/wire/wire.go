@@ -276,6 +276,14 @@ type Health struct {
 	StreamErr string
 	// Parallelism is the server's executor worker fan-out (dbpld -parallel).
 	Parallelism uint64
+	// Materialized-view cache state: enabled flag, live entries, read
+	// outcome counters, and queued-delta maintenance backlog.
+	MatEnabled    bool
+	MatEntries    uint64
+	MatHits       uint64
+	MatMisses     uint64
+	MatMaintained uint64
+	MatBacklog    uint64
 }
 
 // Encode builds a THealthInfo payload.
@@ -291,6 +299,12 @@ func (h Health) Encode() []byte {
 	e.Bool(h.Connected)
 	e.Str(h.StreamErr)
 	e.Uvarint(h.Parallelism)
+	e.Bool(h.MatEnabled)
+	e.Uvarint(h.MatEntries)
+	e.Uvarint(h.MatHits)
+	e.Uvarint(h.MatMisses)
+	e.Uvarint(h.MatMaintained)
+	e.Uvarint(h.MatBacklog)
 	p, _ := e.Payload()
 	return p
 }
@@ -328,6 +342,24 @@ func DecodeHealth(payload []byte) (Health, error) {
 		return h, err
 	}
 	if h.Parallelism, err = d.Uvarint(); err != nil {
+		return h, err
+	}
+	if h.MatEnabled, err = d.Bool(); err != nil {
+		return h, err
+	}
+	if h.MatEntries, err = d.Uvarint(); err != nil {
+		return h, err
+	}
+	if h.MatHits, err = d.Uvarint(); err != nil {
+		return h, err
+	}
+	if h.MatMisses, err = d.Uvarint(); err != nil {
+		return h, err
+	}
+	if h.MatMaintained, err = d.Uvarint(); err != nil {
+		return h, err
+	}
+	if h.MatBacklog, err = d.Uvarint(); err != nil {
 		return h, err
 	}
 	return h, nil

@@ -55,11 +55,18 @@ type config struct {
 	// parallelMinRows is the smallest outer cardinality worth splitting
 	// across workers (WithParallelThreshold); 0 means the executor default.
 	parallelMinRows int
+	// matviews is the materialized-view cache capacity; 0 disables
+	// materialization entirely (every read refixpoints from scratch).
+	matviews int
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
 // given WithPlanCacheSize.
 const DefaultPlanCacheSize = 128
+
+// DefaultMaterializedViews is the materialized-view cache capacity used when
+// Open is given neither WithMaterialization nor WithoutMaterialization.
+const DefaultMaterializedViews = 64
 
 func defaultConfig() config {
 	return config{
@@ -67,6 +74,7 @@ func defaultConfig() config {
 		strict:        true,
 		planCacheSize: DefaultPlanCacheSize,
 		parallelism:   runtime.GOMAXPROCS(0),
+		matviews:      DefaultMaterializedViews,
 	}
 }
 
@@ -215,8 +223,33 @@ func WithOptimizer(passes ...string) Option {
 
 // WithoutOptimization disables the optimizer entirely: no rewrite passes run
 // at Prepare time and selector applications always scan their base relation
-// instead of using physical access paths. Intended for debugging and for
-// equivalence testing against the optimized path.
+// instead of using physical access paths. It also disables materialized
+// views, so every constructor application refixpoints from scratch. Intended
+// for debugging and for equivalence testing against the optimized path.
 func WithoutOptimization() Option {
-	return func(c *config) { c.noOptimize = true }
+	return func(c *config) {
+		c.noOptimize = true
+		c.matviews = 0
+	}
+}
+
+// WithMaterialization sets the capacity of the materialized derived-relation
+// cache: up to n constructor fixpoints are kept converged and maintained
+// incrementally as base relations grow (least recently used beyond n). The
+// default is DefaultMaterializedViews; n <= 0 disables materialization.
+func WithMaterialization(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.matviews = n
+	}
+}
+
+// WithoutMaterialization disables the materialized-view cache: every
+// constructor application recomputes its fixpoint from scratch. Equivalent
+// to WithMaterialization(0); useful as a reference path when testing
+// incremental maintenance.
+func WithoutMaterialization() Option {
+	return func(c *config) { c.matviews = 0 }
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -50,17 +51,29 @@ func recordBench(b *testing.B, tuples, rows int) {
 	})
 }
 
-// TestMain writes BENCH_parallel.json after a run that executed any of the
-// parallel benchmarks; plain test runs leave no artifact behind.
+// TestMain writes the benchmark artifacts after a run that executed any
+// benchmarks; plain test runs leave no artifact behind. Rows are partitioned
+// by benchmark family: the incremental-maintenance measurements land in
+// BENCH_incremental.json, everything else in BENCH_parallel.json.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchMu.Lock()
 	rows := benchRows
 	benchMu.Unlock()
 	if code == 0 && len(rows) > 0 {
-		if raw, err := json.MarshalIndent(rows, "", "  "); err == nil {
-			if err := os.WriteFile("BENCH_parallel.json", append(raw, '\n'), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "BENCH_parallel.json:", err)
+		files := map[string][]benchRow{}
+		for _, r := range rows {
+			name := "BENCH_parallel.json"
+			if strings.HasPrefix(r.Name, "BenchmarkIncremental") {
+				name = "BENCH_incremental.json"
+			}
+			files[name] = append(files[name], r)
+		}
+		for name, part := range files {
+			if raw, err := json.MarshalIndent(part, "", "  "); err == nil {
+				if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, name+":", err)
+				}
 			}
 		}
 	}

@@ -93,6 +93,15 @@ type ExecInfo struct {
 	Rounds      int    `json:"rounds,omitempty"`
 	Evaluations int    `json:"evaluations,omitempty"`
 	MaxDelta    int    `json:"max_delta,omitempty"`
+	// MatView reports the materialized-view outcome of the execution's
+	// constructor application — "hit" (served converged state unchanged),
+	// "maintained" (cached state brought current by resuming the fixpoint
+	// with MatViewDelta committed tuples over MatViewRounds rounds), or
+	// "miss" (computed from scratch and installed); empty when no cacheable
+	// application ran.
+	MatView       string `json:"matview,omitempty"`
+	MatViewDelta  int    `json:"matview_delta,omitempty"`
+	MatViewRounds int    `json:"matview_rounds,omitempty"`
 	// PartitionLookups and Scans count selector applications answered from a
 	// hash partition vs. by scanning the base.
 	PartitionLookups int `json:"partition_lookups"`
@@ -159,14 +168,29 @@ func (p *Plan) Text() string {
 		a := p.Analyze
 		fmt.Fprintf(&b, "analyze: rows=%d", a.Rows)
 		if a.Mode != "" {
-			fmt.Fprintf(&b, " mode=%s instances=%d rounds=%d evaluations=%d max-delta=%d",
-				a.Mode, a.Instances, a.Rounds, a.Evaluations, a.MaxDelta)
+			fmt.Fprintf(&b, " mode=%s instances=%d rounds=%d evaluations=%d",
+				a.Mode, a.Instances, a.Rounds, a.Evaluations)
+			// Only the semi-naive loop tracks per-round delta cardinality;
+			// claiming max-delta=0 for a naive fixpoint would misreport work
+			// that was simply never measured.
+			if a.Mode == "naive" {
+				b.WriteString(" max-delta=n/a")
+			} else {
+				fmt.Fprintf(&b, " max-delta=%d", a.MaxDelta)
+			}
 		}
 		fmt.Fprintf(&b, " partition-lookups=%d scans=%d", a.PartitionLookups, a.Scans)
 		if a.Parallelism > 0 {
 			fmt.Fprintf(&b, " parallelism=%d", a.Parallelism)
 		}
 		b.WriteString("\n")
+		switch a.MatView {
+		case "":
+		case "maintained":
+			fmt.Fprintf(&b, "matview: maintained delta=%d rounds=%d\n", a.MatViewDelta, a.MatViewRounds)
+		default:
+			fmt.Fprintf(&b, "matview: %s\n", a.MatView)
+		}
 		for _, op := range a.Operators {
 			fmt.Fprintf(&b, "op:      %-16s rows-in=%d rows-out=%d batches=%d workers=%d\n",
 				op.Op, op.RowsIn, op.RowsOut, op.Batches, op.Workers)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/matview"
 	"repro/internal/optimizer"
 	"repro/internal/parser"
 	"repro/internal/relation"
@@ -83,6 +84,13 @@ type DB struct {
 	// so every mutation path — module DDL, Insert, Assign, LoadStore, Tx
 	// commits — logs through it before publishing.
 	wal *wal.Log
+
+	// views is the materialized derived-relation cache (WithMaterialization;
+	// on by default), registered as the store's commit observer so committed
+	// deltas maintain cached fixpoints incrementally. nil when disabled; the
+	// matview API is nil-safe, so unconditional Reset/Snapshot calls are fine,
+	// but it is never assigned into an interface field when nil.
+	views *matview.Cache
 
 	// passes is the optimizer pass pipeline run at Prepare time; nil when the
 	// pipeline is empty. noOptimize additionally disables physical access
@@ -174,6 +182,11 @@ func Open(opts ...Option) (*DB, error) {
 	d.Engine.Mode = cfg.mode
 	d.Engine.MaxRounds = cfg.maxRounds
 	d.Engine.Parallelism = cfg.parallelism
+	if cfg.matviews > 0 {
+		d.views = matview.New(cfg.matviews)
+		d.views.Attach(d.Store)
+		d.Engine.Views = d.views
+	}
 	d.rebuildDecls()
 	if cfg.storeReader != nil {
 		if err := d.LoadStore(cfg.storeReader); err != nil {
@@ -296,32 +309,87 @@ type Health struct {
 	// TailRecords is the number of write-ahead-log records appended since
 	// the last checkpoint.
 	TailRecords int
+	// MatViews reports the materialized derived-relation cache: entry count,
+	// read outcomes, and maintenance backlog.
+	MatViews MatViewStats
+}
+
+// MatViewStats is the materialized-view section of a health report.
+type MatViewStats struct {
+	// Enabled reports whether materialization is on (WithMaterialization,
+	// the default) for this database.
+	Enabled bool
+	// Entries is the number of derived relations currently cached.
+	Entries int
+	// Hits, Misses, and Maintained count constructor reads served from cache
+	// unchanged, computed from scratch, and brought current by resuming the
+	// fixpoint with committed deltas.
+	Hits, Misses, Maintained uint64
+	// Invalidations counts cache entries dropped by non-delta-expressible
+	// writes, dependency changes, maintenance failures, and eviction.
+	Invalidations uint64
+	// Backlog is the number of committed delta tuples queued against cached
+	// fixpoints but not yet folded in by a read.
+	Backlog int
+}
+
+// HitRate is the fraction of cacheable constructor reads answered from the
+// cache (hits plus incremental maintenance, over all cacheable reads), in
+// [0, 1]; 0 before any read.
+func (m MatViewStats) HitRate() float64 {
+	served := m.Hits + m.Maintained
+	total := served + m.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
 }
 
 // String renders the state compactly: "ok", "ok generation=3 tail=17", or
-// "degraded generation=3 tail=17: <cause>".
+// "degraded generation=3 tail=17: <cause>", each followed by a
+// " matview entries=… hit-rate=… backlog=…" segment when materialization is
+// enabled.
 func (h Health) String() string {
-	if !h.Durable {
-		return "ok"
+	var s string
+	switch {
+	case !h.Durable:
+		s = "ok"
+	case h.Degraded:
+		s = fmt.Sprintf("degraded generation=%d tail=%d: %v", h.Generation, h.TailRecords, h.Cause)
+	default:
+		s = fmt.Sprintf("ok generation=%d tail=%d", h.Generation, h.TailRecords)
 	}
-	if h.Degraded {
-		return fmt.Sprintf("degraded generation=%d tail=%d: %v", h.Generation, h.TailRecords, h.Cause)
+	if h.MatViews.Enabled {
+		s += fmt.Sprintf(" matview entries=%d hit-rate=%.0f%% backlog=%d",
+			h.MatViews.Entries, 100*h.MatViews.HitRate(), h.MatViews.Backlog)
 	}
-	return fmt.Sprintf("ok generation=%d tail=%d", h.Generation, h.TailRecords)
+	return s
 }
 
 // Health reports whether the database is fully operational or degraded to
-// read-only, the I/O failure that degraded it, and the current checkpoint
-// generation. It is safe to call concurrently with reads and writes.
+// read-only, the I/O failure that degraded it, the current checkpoint
+// generation, and the materialized-view cache state. It is safe to call
+// concurrently with reads and writes.
 func (d *DB) Health() Health {
+	var h Health
+	if d.views != nil {
+		s := d.views.Snapshot()
+		h.MatViews = MatViewStats{
+			Enabled:       true,
+			Entries:       s.Entries,
+			Hits:          s.Hits,
+			Misses:        s.Misses,
+			Maintained:    s.Maintained,
+			Invalidations: s.Invalidations,
+			Backlog:       s.Backlog,
+		}
+	}
 	if d.wal == nil {
-		return Health{}
+		return h
 	}
-	h := Health{
-		Durable:     true,
-		Generation:  d.wal.Generation(),
-		TailRecords: d.wal.TailRecords(),
-	}
+	h.Durable = true
+	h.Generation = d.wal.Generation()
+	h.TailRecords = d.wal.TailRecords()
 	if cause := d.wal.Err(); cause != nil {
 		h.Degraded = true
 		h.Cause = cause
@@ -399,8 +467,10 @@ func (d *DB) ExecToContext(ctx context.Context, out io.Writer, src string) error
 	// The module may have declared new relations, selectors, or
 	// constructors: cached plans resolved against the old declarations.
 	// Cleared before the unlock so no query sees the new declarations but
-	// a stale plan.
+	// a stale plan. Materialized views cached fixpoints of constructors the
+	// module may have redeclared, so they reset with the plans.
 	d.plans.clear()
+	d.views.Reset()
 	d.mu.Unlock()
 
 	// Statements run outside the declaration lock: writes go through the
@@ -499,6 +569,9 @@ func (d *DB) baseCallEnv(ctx context.Context) (*eval.Env, *core.Engine, *store.D
 	en.Mode = mode
 	en.MaxRounds = maxRounds
 	en.Parallelism = d.parallelism
+	if d.views != nil {
+		en.Views = d.views
+	}
 	return env, en, st
 }
 
@@ -609,7 +682,13 @@ func (d *DB) LoadStore(r io.Reader) error {
 			d.Checker.Vars[name] = t
 		}
 	}
-	// Cached plans resolved names against the replaced store.
+	// Cached plans resolved names against the replaced store, and cached
+	// fixpoints were computed over its relations: re-point the view cache at
+	// the new store (which also drops every entry and re-registers the
+	// commit observer there).
 	d.plans.clear()
+	if d.views != nil {
+		d.views.Attach(db)
+	}
 	return nil
 }

@@ -234,6 +234,10 @@ type execStats struct {
 	paths  eval.PathStats
 	exec   eval.ExecStats
 	engine core.Stats
+	// view is the materialized-view outcome of the execution, when a
+	// cacheable constructor application ran (viewSet reports whether).
+	view    core.ViewStats
+	viewSet bool
 }
 
 func (s *Stmt) exec(ctx context.Context, args []any, ex *execStats) (*relation.Relation, error) {
@@ -269,7 +273,7 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 	var err error
 	switch {
 	case s.magic != nil:
-		rel, err = s.execMagic(ctx, env, ex)
+		rel, err = s.execMagic(ctx, env, en, ex)
 	case s.execRng != nil:
 		rel, err = env.Range(s.execRng)
 	default:
@@ -279,8 +283,13 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 		return nil, wrapErr(err)
 	}
 	s.db.recordStats(en)
-	if ex != nil && en.Applies.Load() > 0 {
-		ex.engine = en.LastStats()
+	if ex != nil {
+		if en.Applies.Load() > 0 {
+			ex.engine = en.LastStats()
+		}
+		if vs, ok := en.LastView(); ok {
+			ex.view, ex.viewSet = vs, true
+		}
 	}
 	return rel, nil
 }
@@ -291,13 +300,26 @@ func (s *Stmt) execWith(ctx context.Context, env *eval.Env, en *core.Engine, arg
 // (much smaller) restricted result to the constructor's result type, and
 // applies the query's suffixes from the selector onward — the original
 // selector acting as the final filter that makes the restriction exact.
-func (s *Stmt) execMagic(ctx context.Context, env *eval.Env, ex *execStats) (*relation.Relation, error) {
+func (s *Stmt) execMagic(ctx context.Context, env *eval.Env, outer *core.Engine, ex *execStats) (*relation.Relation, error) {
 	mp := s.magic
 	base, ok := env.Rels[s.execRng.Var]
 	if !ok {
 		return nil, fmt.Errorf("dbpl: unknown relation %q", s.execRng.Var)
 	}
 	d := s.db
+	// A full fixpoint of the constructor already materialized (and kept
+	// current) for this base beats the restricted system: serve it and let
+	// the original selector filter, skipping the magic fixpoint entirely.
+	// Peek never computes on a miss, so the restriction still wins cold.
+	if d.views != nil {
+		full, ok, err := d.views.Peek(ctx, outer, mp.Constructor, base)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return env.ApplySuffixes(full, s.execRng.Suffixes[mp.SuffixFrom:])
+		}
+	}
 	d.mu.RLock()
 	mode := d.Engine.Mode
 	maxRounds := d.Engine.MaxRounds
