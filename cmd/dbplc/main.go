@@ -69,6 +69,8 @@ func main() {
 	replFlag := flag.Bool("repl", false, "drop into an interactive session (after running the file, if given)")
 	path := flag.String("path", "", "durable store directory: recover it on start, write-ahead log every mutation")
 	syncMode := flag.String("sync", "always", "fsync policy for -path: always (machine-crash safe) or never (process-crash safe)")
+	engineFlag := flag.String("engine", "memory", "storage engine for -path: memory (full image) or paged (buffer pool + incremental checkpoints)")
+	poolPages := flag.Int("pool-pages", 0, "paged engine buffer-pool budget in 4KiB pages (0 = default)")
 	connect := flag.String("connect", "", "run against a dbpld server at this address instead of an embedded database")
 	token := flag.String("token", "", "auth token for -connect")
 	parallel := flag.Int("parallel", 0, "executor worker fan-out per query (embedded mode; 0 = all CPUs, 1 = serial)")
@@ -151,6 +153,18 @@ func main() {
 				os.Exit(2)
 			}
 			opts = append(opts, dbpl.WithPath(*path), dbpl.WithSync(sp))
+		}
+		switch *engineFlag {
+		case "memory":
+		case "paged":
+			if *path == "" {
+				fmt.Fprintln(os.Stderr, "-engine paged requires -path")
+				os.Exit(2)
+			}
+			opts = append(opts, dbpl.WithEngine(dbpl.EnginePaged), dbpl.WithBufferPoolPages(*poolPages))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (want memory or paged)\n", *engineFlag)
+			os.Exit(2)
 		}
 		db, err := dbpl.Open(opts...)
 		if err != nil {

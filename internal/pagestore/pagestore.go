@@ -1,0 +1,938 @@
+// Package pagestore is the paged storage engine behind the store.Engine
+// interface: relation tuples live in fixed-size heap pages in a single
+// pages.heap file, resident pages share a bounded buffer pool with pin/unpin
+// and clock eviction, and checkpoints are incremental — only dirty pages are
+// flushed, and the snapshot file the WAL rotates in is a small page manifest
+// instead of a full logical image, so checkpoint cost is O(changed pages),
+// not O(database).
+//
+// # Shadow paging and the checkpoint protocol
+//
+// The committed manifest (the one a crash would recover from) pins a set of
+// heap slots. A page whose slot is pinned is never overwritten in place:
+// flushing it allocates a fresh slot and the old one is retired only after
+// the next manifest commits (wal.Options.OnCheckpoint → CheckpointCommitted).
+// Flushes to unpinned slots are in-place. A checkpoint therefore writes: the
+// dirty pages (to free or fresh slots), one heap fsync, then the manifest —
+// which the WAL renames into place exactly as it renames memory-engine
+// snapshots. A crash at any point leaves the previous manifest's slots
+// untouched, so recovery is always the committed generation plus the WAL
+// tail.
+//
+// # Failure model
+//
+// The engine never poisons and never loses logical state: every committed
+// value is reachable from the WAL, and the engine's own copy is page frames
+// plus materialized relations in memory. A heap write failure leaves the
+// frame dirty and resident (the pool overflows its budget rather than drop
+// data), a heap read failure fails that materialization and is retried on
+// the next access, and a checkpoint failure is a clean, retryable checkpoint
+// failure at the WAL layer. LastErr surfaces the most recent fault for
+// health reporting.
+//
+// All file I/O goes through fsx.FS, so the crash-simulation harness sweeps
+// the engine's fault points exactly as it does the WAL's.
+package pagestore
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sync"
+
+	"repro/internal/fsx"
+	"repro/internal/relation"
+	"repro/internal/schema"
+	"repro/internal/store"
+	"repro/internal/value"
+)
+
+const (
+	// DefaultPageSize is the heap slot size in bytes.
+	DefaultPageSize = 4096
+	// DefaultPoolPages is the buffer-pool budget in slots (16 MiB at the
+	// default page size).
+	DefaultPoolPages = 4096
+	// DefaultResidentFactor scales the materialized-relation residency
+	// budget off the pool size: decoded relations may occupy up to this
+	// many times the pool's bytes before cold ones are dropped.
+	DefaultResidentFactor = 8
+
+	heapName        = "pages.heap"
+	manifestVersion = 1
+)
+
+// ErrClosed reports an operation on a closed engine.
+var ErrClosed = errors.New("pagestore: engine closed")
+
+// Config configures Open.
+type Config struct {
+	// FS is the filesystem the heap file lives on; nil means the real one.
+	FS fsx.FS
+	// PageSize is the heap slot size; 0 means DefaultPageSize. It is fixed
+	// at database creation — reopening with a different size fails.
+	PageSize int
+	// PoolPages is the buffer-pool budget in slots; 0 means
+	// DefaultPoolPages.
+	PoolPages int
+	// ResidentBytes bounds the decoded (materialized) relations kept
+	// resident; least recently used are dropped beyond it. 0 means
+	// DefaultResidentFactor times the pool's byte budget; negative means
+	// unlimited.
+	ResidentBytes int64
+}
+
+// table is one relation variable's paged representation.
+type table struct {
+	name   string
+	typ    schema.RelationType
+	pages  []*page
+	tuples int
+	bytes  int64 // encoded payload bytes across pages (excluding headers)
+	// cached is the materialized published value, nil while evicted from
+	// the residency budget. Pointer-stable between publications, so the
+	// store's pointer-identity invariants hold.
+	cached *relation.Relation
+	// elem is the residency-LRU node while cached is non-nil.
+	elem *list.Element
+	// resCost is the residency charge taken when cached was installed.
+	resCost int64
+}
+
+// Engine is the paged storage engine. It implements store.Engine and
+// store.CheckpointWriter. Unlike the memory engine it takes its own lock:
+// reads fault pages in and touch pool and residency state, so db.mu's read
+// lock alone is not enough.
+type Engine struct {
+	dir      string
+	fs       fsx.FS
+	pageSize int
+
+	mu     sync.Mutex
+	file   fsx.File
+	closed bool
+	rels   map[string]*table
+	pool   pool
+	// nSlots is the heap file's slot count (allocated high-water mark).
+	nSlots int64
+	// committed pins the slots referenced by the last committed manifest;
+	// pending pins the slots of a manifest written but not yet renamed
+	// durable. Neither may be overwritten nor reallocated.
+	committed map[int64]bool
+	pending   map[int64]bool
+	// free holds reusable slots: inside [0, nSlots), unreferenced by any
+	// page, unpinned by committed/pending. Rebuilt at each manifest commit.
+	free []int64
+	// unsynced reports heap writes since the last successful heap fsync.
+	unsynced bool
+
+	// Residency of materialized relations.
+	lru      *list.List // of *table, front = most recent
+	resBytes int64
+	resCap   int64
+	release  func(old *relation.Relation)
+
+	lastErr       error
+	matEvictions  uint64
+	lastCkptPages uint64
+	lastCkptBytes uint64
+}
+
+// Open opens (or creates) the paged engine over dir/pages.heap. Page
+// contents are recovered lazily from the manifest the WAL loads via
+// LoadManifest; a fresh directory starts empty.
+func Open(dir string, cfg Config) (*Engine, error) {
+	fs := cfg.FS
+	if fs == nil {
+		fs = fsx.OsFS{}
+	}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 2*pageHeaderLen {
+		return nil, fmt.Errorf("pagestore: page size %d too small", pageSize)
+	}
+	poolPages := cfg.PoolPages
+	if poolPages <= 0 {
+		poolPages = DefaultPoolPages
+	}
+	resCap := cfg.ResidentBytes
+	if resCap == 0 {
+		resCap = int64(DefaultResidentFactor) * int64(poolPages) * int64(pageSize)
+	}
+	if err := fs.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	f, err := fs.OpenFile(filepath.Join(dir, heapName), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	// Best-effort: the WAL's directory fsync at session open covers the
+	// heap's dirent too (it is created first).
+	_ = fs.SyncDir(dir)
+	e := &Engine{
+		dir:       dir,
+		fs:        fs,
+		pageSize:  pageSize,
+		file:      f,
+		rels:      make(map[string]*table),
+		pool:      pool{capSlots: poolPages},
+		nSlots:    size / int64(pageSize),
+		committed: make(map[int64]bool),
+		lru:       list.New(),
+		resCap:    resCap,
+	}
+	return e, nil
+}
+
+// Close releases the heap file. Resident materialized relations keep
+// answering reads; anything cold becomes unreachable until reopen.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.file.Close()
+}
+
+// EngineName implements store.Engine.
+func (e *Engine) EngineName() string { return "paged" }
+
+// SetReleaseHook implements store.Engine.
+func (e *Engine) SetReleaseHook(fn func(old *relation.Relation)) {
+	e.mu.Lock()
+	e.release = fn
+	e.mu.Unlock()
+}
+
+// Declare implements store.Engine.
+func (e *Engine) Declare(name string, typ schema.RelationType) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := &table{name: name, typ: typ}
+	e.rels[name] = t
+	e.setCachedLocked(t, relation.New(typ))
+}
+
+// Type implements store.Engine.
+func (e *Engine) Type(name string) (schema.RelationType, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.rels[name]
+	if !ok {
+		return schema.RelationType{}, false
+	}
+	return t.typ, true
+}
+
+// Names implements store.Engine.
+func (e *Engine) Names() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Current implements store.Engine: pointer-identity reverse lookup over the
+// resident materializations. An evicted value is by definition not a pointer
+// any caller could still be holding from Get... it can be (readers hold
+// strong references), but such a pointer is still the variable's current
+// value only if no publication replaced it — and publications always install
+// into cached, so a non-resident variable's current pointer is simply not
+// discoverable, which only costs a declined access-path build.
+func (e *Engine) Current(rel *relation.Relation) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for n, t := range e.rels {
+		if t.cached != nil && t.cached == rel {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// Cached implements store.Engine.
+func (e *Engine) Cached(name string) (*relation.Relation, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.rels[name]
+	if !ok || t.cached == nil {
+		return nil, false
+	}
+	return t.cached, true
+}
+
+// Get implements store.Engine: the resident materialization if there is one,
+// otherwise the relation decoded from its pages through the buffer pool.
+func (e *Engine) Get(name string) (*relation.Relation, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.rels[name]
+	if !ok {
+		return nil, false, nil
+	}
+	if t.cached != nil {
+		e.lru.MoveToFront(t.elem)
+		return t.cached, true, nil
+	}
+	rel, err := e.materializeLocked(t)
+	if err != nil {
+		e.lastErr = err
+		return nil, false, err
+	}
+	e.setCachedLocked(t, rel)
+	return rel, true, nil
+}
+
+// Publish implements store.Engine: wholesale replacement rewrites the
+// relation's pages.
+func (e *Engine) Publish(name string, rel *relation.Relation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.rels[name]
+	if !ok {
+		return
+	}
+	e.dropPagesLocked(t)
+	rel.Each(func(tup value.Tuple) bool {
+		e.appendTupleLocked(t, tup)
+		return true
+	})
+	e.setCachedLocked(t, rel)
+}
+
+// PublishDelta implements store.Engine: growth appends only the new tuples'
+// pages — the reason Insert-heavy workloads stay O(delta) on disk as well as
+// in memory.
+func (e *Engine) PublishDelta(name string, tuples []value.Tuple, next *relation.Relation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.rels[name]
+	if !ok {
+		return
+	}
+	for _, tup := range tuples {
+		e.appendTupleLocked(t, tup)
+	}
+	e.setCachedLocked(t, next)
+}
+
+// LastErr returns the most recent page I/O or corruption failure (nil if
+// none). Unlike the WAL's poison it is informational: the engine keeps
+// operating from memory and retries I/O on later calls.
+func (e *Engine) LastErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastErr
+}
+
+// ---------------------------------------------------------------------------
+// Page faulting, appending, eviction
+// ---------------------------------------------------------------------------
+
+// frameLocked returns the page's resident frame, faulting it in from the
+// heap file (evicting under pool pressure) on a miss.
+func (e *Engine) frameLocked(p *page) (*frame, error) {
+	if p.frame != nil {
+		e.pool.hits++
+		p.frame.ref = true
+		return p.frame, nil
+	}
+	e.pool.misses++
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.ensureRoomLocked(p.nslots)
+	capBytes := p.bytes
+	if e.pageSize > capBytes {
+		capBytes = e.pageSize
+	}
+	data := make([]byte, p.bytes, capBytes)
+	if _, err := e.file.Seek(p.slot*int64(e.pageSize), io.SeekStart); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(e.file, data); err != nil {
+		return nil, err
+	}
+	if err := checkHeader(data, p.tuples); err != nil {
+		return nil, err
+	}
+	f := &frame{p: p, data: data, ref: true}
+	p.frame = f
+	e.pool.add(f)
+	return f, nil
+}
+
+// ensureRoomLocked evicts unpinned frames until n more slots fit the pool
+// budget. When nothing is evictable — everything pinned, or write-back
+// failing against a faulted disk — the pool overflows instead of losing
+// data.
+func (e *Engine) ensureRoomLocked(n int) {
+	var skip map[*frame]bool
+	for e.pool.usedSlots+n > e.pool.capSlots {
+		v := e.pool.victim(skip)
+		if v == nil {
+			e.pool.overflows++
+			return
+		}
+		if v.dirty {
+			if err := e.flushFrameLocked(v.p); err != nil {
+				e.lastErr = err
+				if skip == nil {
+					skip = make(map[*frame]bool)
+				}
+				skip[v] = true
+				continue
+			}
+		}
+		e.pool.remove(v)
+		e.pool.evictions++
+	}
+}
+
+// flushFrameLocked writes a dirty frame's payload to the heap file. Slots
+// pinned by the committed or pending manifest are never overwritten: the
+// page moves to a fresh slot (shadow paging) and the old run is retired. The
+// write is not fsynced here — checkpoint syncs the heap once before the
+// manifest.
+func (e *Engine) flushFrameLocked(p *page) error {
+	f := p.frame
+	if p.slot < 0 || e.protectedRunLocked(p.slot, p.nslots) {
+		old, oldN := p.slot, p.nslots
+		p.slot = e.allocRunLocked(p.nslots)
+		if old >= 0 {
+			e.releaseRunLocked(old, oldN)
+		}
+	}
+	sealHeader(f.data, p.tuples)
+	if e.closed {
+		return ErrClosed
+	}
+	if _, err := e.file.Seek(p.slot*int64(e.pageSize), io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := e.file.Write(f.data); err != nil {
+		return err
+	}
+	e.unsynced = true
+	f.dirty = false
+	e.pool.writeBacks++
+	return nil
+}
+
+// protectedRunLocked reports whether any slot of the run is pinned by the
+// committed or pending manifest.
+func (e *Engine) protectedRunLocked(slot int64, n int) bool {
+	for s := slot; s < slot+int64(n); s++ {
+		if e.committed[s] || e.pending[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// allocRunLocked hands out n consecutive free slots. Single slots come from
+// the free list; runs (jumbo pages, rare) always extend the heap — the free
+// list is not defragmented.
+func (e *Engine) allocRunLocked(n int) int64 {
+	if n == 1 {
+		for len(e.free) > 0 {
+			s := e.free[len(e.free)-1]
+			e.free = e.free[:len(e.free)-1]
+			if !e.protectedRunLocked(s, 1) {
+				return s
+			}
+		}
+	}
+	s := e.nSlots
+	e.nSlots += int64(n)
+	return s
+}
+
+// releaseRunLocked returns a superseded run's unpinned slots to the free
+// list; pinned ones stay off it until the next manifest commit rebuilds the
+// list.
+func (e *Engine) releaseRunLocked(slot int64, n int) {
+	for s := slot; s < slot+int64(n); s++ {
+		if !e.committed[s] && !e.pending[s] {
+			e.free = append(e.free, s)
+		}
+	}
+}
+
+// appendTupleLocked encodes one tuple onto the relation's tail page,
+// starting a fresh page when the tail is full (or its committed image cannot
+// be read back — the old page stays sealed on disk and the fresh page simply
+// follows it).
+func (e *Engine) appendTupleLocked(t *table, tup value.Tuple) {
+	enc, err := appendTuple(nil, tup)
+	if err != nil {
+		// Unencodable values cannot reach a typed relation; record and drop.
+		e.lastErr = err
+		return
+	}
+	var p *page
+	if n := len(t.pages); n > 0 {
+		last := t.pages[n-1]
+		if last.bytes+len(enc) <= e.pageSize {
+			if _, ferr := e.frameLocked(last); ferr == nil {
+				p = last
+			} else {
+				e.lastErr = ferr
+			}
+		}
+	}
+	if p == nil {
+		nslots := 1
+		if pageHeaderLen+len(enc) > e.pageSize {
+			nslots = (pageHeaderLen + len(enc) + e.pageSize - 1) / e.pageSize
+		}
+		e.ensureRoomLocked(nslots)
+		capBytes := e.pageSize
+		if pageHeaderLen+len(enc) > capBytes {
+			capBytes = pageHeaderLen + len(enc)
+		}
+		p = &page{slot: -1, nslots: nslots, bytes: pageHeaderLen}
+		f := &frame{p: p, data: make([]byte, pageHeaderLen, capBytes), ref: true}
+		p.frame = f
+		e.pool.add(f)
+		t.pages = append(t.pages, p)
+	}
+	f := p.frame
+	f.pins++
+	f.data = append(f.data[:p.bytes], enc...)
+	p.bytes += len(enc)
+	p.tuples++
+	f.dirty = true
+	f.ref = true
+	f.pins--
+	t.bytes += int64(len(enc))
+	t.tuples++
+}
+
+// materializeLocked decodes a relation from its pages through the pool.
+func (e *Engine) materializeLocked(t *table) (*relation.Relation, error) {
+	rel := relation.New(t.typ)
+	arity := t.typ.Element.Arity()
+	for _, p := range t.pages {
+		f, err := e.frameLocked(p)
+		if err != nil {
+			return nil, fmt.Errorf("pagestore: materializing %q: %w", t.name, err)
+		}
+		// Pin across the decode: faulting in a later page of the same
+		// relation may evict, and the victim must never be the page whose
+		// bytes are being read.
+		f.pins++
+		cur := byteCursor{buf: f.data[pageHeaderLen:p.bytes]}
+		for i := 0; i < p.tuples; i++ {
+			tup, terr := cur.readTuple(arity)
+			if terr == nil {
+				terr = rel.Insert(tup)
+			}
+			if terr != nil {
+				f.pins--
+				return nil, fmt.Errorf("pagestore: materializing %q: %w", t.name, terr)
+			}
+		}
+		f.pins--
+	}
+	return rel, nil
+}
+
+// dropPagesLocked discards a relation's pages (wholesale replacement):
+// frames leave the pool, unpinned slots return to the free list.
+func (e *Engine) dropPagesLocked(t *table) {
+	for _, p := range t.pages {
+		if p.frame != nil {
+			e.pool.remove(p.frame)
+		}
+		if p.slot >= 0 {
+			e.releaseRunLocked(p.slot, p.nslots)
+		}
+	}
+	t.pages = nil
+	t.bytes = 0
+	t.tuples = 0
+}
+
+// setCachedLocked installs a relation's materialization and enforces the
+// residency budget, dropping cold materializations (their pages stay on
+// disk; the release hook lets the store discard access paths built over the
+// dropped values).
+func (e *Engine) setCachedLocked(t *table, rel *relation.Relation) {
+	if t.elem != nil {
+		e.resBytes -= t.resCost
+		e.lru.MoveToFront(t.elem)
+	} else {
+		t.elem = e.lru.PushFront(t)
+	}
+	t.cached = rel
+	t.resCost = t.bytes + 1
+	e.resBytes += t.resCost
+	if e.resCap < 0 {
+		return
+	}
+	for e.resBytes > e.resCap {
+		back := e.lru.Back()
+		if back == nil || back.Value.(*table) == t {
+			break
+		}
+		e.dropCachedLocked(back.Value.(*table))
+	}
+}
+
+// dropCachedLocked evicts one materialization from residency.
+func (e *Engine) dropCachedLocked(t *table) {
+	old := t.cached
+	t.cached = nil
+	e.lru.Remove(t.elem)
+	t.elem = nil
+	e.resBytes -= t.resCost
+	e.matEvictions++
+	if e.release != nil && old != nil {
+		e.release(old)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints: dirty-page flush plus manifest
+// ---------------------------------------------------------------------------
+
+// WriteCheckpoint implements store.CheckpointWriter: flush the dirty pages,
+// fsync the heap once, then write the page manifest to w (the WAL's snapshot
+// temp file, which it fsyncs and renames — the rename is the commit point,
+// shared with the memory engine's snapshots). Any failure here is a clean,
+// retryable checkpoint failure: the previous manifest and its slots are
+// untouched.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	var pages, bytes uint64
+	for _, t := range e.rels {
+		for _, p := range t.pages {
+			if p.frame != nil && p.frame.dirty {
+				if err := e.flushFrameLocked(p); err != nil {
+					e.lastErr = err
+					return err
+				}
+				pages++
+				bytes += uint64(p.bytes)
+			}
+		}
+	}
+	if e.unsynced {
+		if err := e.file.Sync(); err != nil {
+			e.lastErr = err
+			return err
+		}
+		e.unsynced = false
+	}
+	cw := &countWriter{w: w}
+	if err := e.writeManifestLocked(cw); err != nil {
+		return err
+	}
+	// Pin every slot the manifest references until CheckpointCommitted
+	// resolves whether this manifest or the previous one is the recovery
+	// base.
+	pending := make(map[int64]bool)
+	for _, t := range e.rels {
+		for _, p := range t.pages {
+			for s := p.slot; s < p.slot+int64(p.nslots); s++ {
+				pending[s] = true
+			}
+		}
+	}
+	e.pending = pending
+	e.lastCkptPages = pages
+	e.lastCkptBytes = bytes + uint64(cw.n)
+	return nil
+}
+
+// CheckpointCommitted is wired to wal.Options.OnCheckpoint: the manifest
+// written by the last WriteCheckpoint is now the durable recovery base, so
+// its slot set replaces the committed pin set and everything unreferenced
+// becomes reusable.
+func (e *Engine) CheckpointCommitted(uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pending != nil {
+		e.committed = e.pending
+		e.pending = nil
+	}
+	e.rebuildFreeLocked()
+}
+
+// rebuildFreeLocked recomputes the free list: slots below the high-water
+// mark that no page references and no manifest pins.
+func (e *Engine) rebuildFreeLocked() {
+	live := make(map[int64]bool)
+	for _, t := range e.rels {
+		for _, p := range t.pages {
+			if p.slot < 0 {
+				continue
+			}
+			for s := p.slot; s < p.slot+int64(p.nslots); s++ {
+				live[s] = true
+			}
+		}
+	}
+	e.free = e.free[:0]
+	for s := int64(0); s < e.nSlots; s++ {
+		if !live[s] && !e.committed[s] && !e.pending[s] {
+			e.free = append(e.free, s)
+		}
+	}
+}
+
+// writeManifestLocked serializes the page manifest: per relation its type
+// and the (slot, run, bytes, tuples) of each page, in page order.
+func (e *Engine) writeManifestLocked(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(store.PagedManifestMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(manifestVersion); err != nil {
+		return err
+	}
+	if err := store.WriteUvarint(bw, uint64(e.pageSize)); err != nil {
+		return err
+	}
+	if err := store.WriteUvarint(bw, uint64(len(e.rels))); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		t := e.rels[name]
+		if err := store.WriteString(bw, name); err != nil {
+			return err
+		}
+		if err := store.WriteRelationType(bw, t.typ); err != nil {
+			return err
+		}
+		if err := store.WriteUvarint(bw, uint64(len(t.pages))); err != nil {
+			return err
+		}
+		for _, p := range t.pages {
+			if err := store.WriteUvarint(bw, uint64(p.slot)); err != nil {
+				return err
+			}
+			if err := store.WriteUvarint(bw, uint64(p.nslots)); err != nil {
+				return err
+			}
+			if err := store.WriteUvarint(bw, uint64(p.bytes)); err != nil {
+				return err
+			}
+			if err := store.WriteUvarint(bw, uint64(p.tuples)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadManifest rebuilds the engine's table and slot state from a committed
+// manifest (the WAL's recovery path hands it the newest snapshot file). Page
+// contents stay on disk and fault in lazily. It fails loudly on a
+// memory-engine snapshot and on a page-size mismatch.
+func (e *Engine) LoadManifest(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	br := bufio.NewReader(r)
+	head := make([]byte, len(store.PagedManifestMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return err
+	}
+	if string(head) != store.PagedManifestMagic {
+		if string(head) == "DBPLSTOR" {
+			return fmt.Errorf("pagestore: memory-engine snapshot, not a page manifest (open this database with the memory engine)")
+		}
+		return fmt.Errorf("pagestore: not a page manifest")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if ver != manifestVersion {
+		return fmt.Errorf("pagestore: unsupported manifest version %d", ver)
+	}
+	ps, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if int(ps) != e.pageSize {
+		return fmt.Errorf("pagestore: database has page size %d, engine configured with %d", ps, e.pageSize)
+	}
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if nRels > 1<<20 {
+		return fmt.Errorf("pagestore: corrupt relation count %d", nRels)
+	}
+	rels := make(map[string]*table, nRels)
+	committed := make(map[int64]bool)
+	maxSlot := e.nSlots
+	for i := uint64(0); i < nRels; i++ {
+		name, err := store.ReadString(br)
+		if err != nil {
+			return err
+		}
+		typ, err := store.ReadRelationType(br)
+		if err != nil {
+			return err
+		}
+		nPages, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if nPages > 1<<32 {
+			return fmt.Errorf("pagestore: corrupt page count %d", nPages)
+		}
+		t := &table{name: name, typ: typ}
+		for j := uint64(0); j < nPages; j++ {
+			var u [4]uint64
+			for k := range u {
+				if u[k], err = binary.ReadUvarint(br); err != nil {
+					return err
+				}
+			}
+			p := &page{slot: int64(u[0]), nslots: int(u[1]), bytes: int(u[2]), tuples: int(u[3])}
+			if p.nslots < 1 || p.bytes < pageHeaderLen || p.bytes > p.nslots*e.pageSize {
+				return fmt.Errorf("pagestore: corrupt page descriptor for %q", name)
+			}
+			for s := p.slot; s < p.slot+int64(p.nslots); s++ {
+				committed[s] = true
+			}
+			if end := p.slot + int64(p.nslots); end > maxSlot {
+				maxSlot = end
+			}
+			t.pages = append(t.pages, p)
+			t.tuples += p.tuples
+			t.bytes += int64(p.bytes - pageHeaderLen)
+		}
+		rels[name] = t
+	}
+	e.rels = rels
+	e.committed = committed
+	e.pending = nil
+	e.nSlots = maxSlot
+	e.rebuildFreeLocked()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+// Stats is a point-in-time snapshot of the engine's pool, residency, and
+// checkpoint counters.
+type Stats struct {
+	PageSize  int
+	PoolPages int
+	// PoolUsed is the resident frame footprint in slots; it can exceed
+	// PoolPages while nothing is evictable (see Overflows).
+	PoolUsed   int
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WriteBacks uint64
+	Overflows  uint64
+	// DirtyPages is the number of resident frames awaiting write-back — the
+	// incremental cost of the next checkpoint.
+	DirtyPages int
+	Relations  int
+	// ResidentRelations and MaterializedEvictions describe the decoded-
+	// relation residency cache.
+	ResidentRelations     int
+	MaterializedEvictions uint64
+	HeapSlots             int64
+	FreeSlots             int
+	LastCheckpointPages   uint64
+	LastCheckpointBytes   uint64
+	LastErr               error
+}
+
+// HitRate is the fraction of page accesses served from the pool, in [0, 1].
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns current counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dirty := 0
+	for _, f := range e.pool.frames {
+		if f.dirty {
+			dirty++
+		}
+	}
+	return Stats{
+		PageSize:              e.pageSize,
+		PoolPages:             e.pool.capSlots,
+		PoolUsed:              e.pool.usedSlots,
+		Hits:                  e.pool.hits,
+		Misses:                e.pool.misses,
+		Evictions:             e.pool.evictions,
+		WriteBacks:            e.pool.writeBacks,
+		Overflows:             e.pool.overflows,
+		DirtyPages:            dirty,
+		Relations:             len(e.rels),
+		ResidentRelations:     e.lru.Len(),
+		MaterializedEvictions: e.matEvictions,
+		HeapSlots:             e.nSlots,
+		FreeSlots:             len(e.free),
+		LastCheckpointPages:   e.lastCkptPages,
+		LastCheckpointBytes:   e.lastCkptBytes,
+		LastErr:               e.lastErr,
+	}
+}
+
+// countWriter counts bytes on their way to w (checkpoint size accounting).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// sortStrings is sort.Strings without importing sort for one call site.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

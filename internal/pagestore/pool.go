@@ -1,0 +1,77 @@
+package pagestore
+
+// The shared buffer pool: a budget of heap slots' worth of page frames with
+// pin/unpin and clock (second-chance) eviction. The pool is plain
+// bookkeeping — all access is serialized by the engine's mutex, and eviction
+// write-back (which needs the heap file and the slot allocator) stays in the
+// engine; the pool only picks victims.
+
+// pool tracks the resident frames and their clock ring.
+type pool struct {
+	// capSlots is the frame budget in heap slots (a jumbo frame costs its
+	// run length). usedSlots may exceed it when nothing is evictable — all
+	// frames pinned, or write-back failing — rather than ever losing data;
+	// overflows counts those episodes.
+	capSlots  int
+	usedSlots int
+	frames    []*frame
+	hand      int
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	writeBacks uint64
+	overflows  uint64
+}
+
+// add registers a freshly loaded or created frame.
+func (bp *pool) add(f *frame) {
+	bp.frames = append(bp.frames, f)
+	bp.usedSlots += f.p.nslots
+}
+
+// remove unregisters a frame (eviction, or its relation being rewritten).
+func (bp *pool) remove(f *frame) {
+	for i, cur := range bp.frames {
+		if cur == f {
+			last := len(bp.frames) - 1
+			bp.frames[i] = bp.frames[last]
+			bp.frames = bp.frames[:last]
+			if bp.hand > last {
+				bp.hand = 0
+			}
+			bp.usedSlots -= f.p.nslots
+			f.p.frame = nil
+			return
+		}
+	}
+}
+
+// victim runs the clock over the ring and returns the next evictable frame:
+// unpinned, reference bit clear (clearing set bits as it sweeps). dirty
+// frames are fair game — the engine writes them back before detaching. skip
+// lets the caller exclude frames it failed to write back this round. Returns
+// nil when a bounded sweep finds nothing evictable.
+func (bp *pool) victim(skip map[*frame]bool) *frame {
+	if len(bp.frames) == 0 {
+		return nil
+	}
+	// Two full sweeps: the first may only clear reference bits; a third
+	// would revisit decisions already made.
+	for i := 0; i < 2*len(bp.frames); i++ {
+		if bp.hand >= len(bp.frames) {
+			bp.hand = 0
+		}
+		f := bp.frames[bp.hand]
+		bp.hand++
+		if f.pins > 0 || skip[f] {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return f
+	}
+	return nil
+}

@@ -23,6 +23,12 @@ const (
 	version = 1
 )
 
+// PagedManifestMagic is the header of a paged-engine checkpoint manifest
+// (written by internal/pagestore). Load recognizes it only to fail with a
+// pointed error: a paged database directory cannot be opened on the memory
+// engine.
+const PagedManifestMagic = "DBPLPMAN"
+
 // WriteUvarint writes an unsigned varint.
 func WriteUvarint(w *bufio.Writer, u uint64) error {
 	var buf [binary.MaxVarintLen64]byte
@@ -244,7 +250,9 @@ func (db *Database) Save(w io.Writer) error {
 
 // saveLocked is Save's body, callable while db.mu is already held (the
 // write-ahead logger snapshots the store mid-mutation, under the mutator's
-// lock).
+// lock). It is the logical image: on the paged engine every variable is
+// materialized through the buffer pool, and an I/O failure fails the save
+// rather than silently writing a partial database.
 func (db *Database) saveLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
@@ -253,18 +261,21 @@ func (db *Database) saveLocked(w io.Writer) error {
 	if err := bw.WriteByte(version); err != nil {
 		return err
 	}
-	names := make([]string, 0, len(db.vars))
-	for n := range db.vars {
-		names = append(names, n)
-	}
+	names := db.engine.Names()
 	// Deterministic output order.
 	sort.Strings(names)
 	if err := WriteUvarint(bw, uint64(len(names))); err != nil {
 		return err
 	}
 	for _, name := range names {
-		typ := db.typs[name]
-		rel := db.vars[name]
+		typ, _ := db.engine.Type(name)
+		rel, ok, err := db.engine.Get(name)
+		if err != nil {
+			return fmt.Errorf("store: saving %q: %w", name, err)
+		}
+		if !ok {
+			return fmt.Errorf("store: saving %q: variable vanished", name)
+		}
 		if err := WriteString(bw, name); err != nil {
 			return err
 		}
@@ -293,6 +304,9 @@ func Load(r io.Reader) (*Database, error) {
 		return nil, err
 	}
 	if string(head) != magic {
+		if string(head) == PagedManifestMagic {
+			return nil, fmt.Errorf("store: paged-engine page manifest, not a memory-engine snapshot (open this database with the paged engine)")
+		}
 		return nil, fmt.Errorf("store: not a DBPL store file")
 	}
 	ver, err := br.ReadByte()

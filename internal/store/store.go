@@ -117,9 +117,10 @@ type pathKey struct {
 
 // Database is a set of named, typed relation variables.
 type Database struct {
-	mu   sync.RWMutex
-	vars map[string]*relation.Relation
-	typs map[string]schema.RelationType
+	mu sync.RWMutex
+	// engine binds variable names to relation values (see Engine); the
+	// default is the fully resident memory engine.
+	engine Engine
 	// logger, when set, receives every mutation before it is published.
 	logger Logger
 	// subs are the attached log subscribers (replication streams); they
@@ -144,14 +145,26 @@ type Database struct {
 // Call before sharing the database across goroutines (session Open does).
 func (db *Database) SetParallelism(n int) { db.parallelism = n }
 
-// NewDatabase returns an empty database.
+// NewDatabase returns an empty database on the memory engine.
 func NewDatabase() *Database {
-	return &Database{
-		vars:  make(map[string]*relation.Relation),
-		typs:  make(map[string]schema.RelationType),
-		paths: make(map[pathKey]*accesspath.Physical),
-	}
+	return NewDatabaseWith(NewMemoryEngine())
 }
+
+// NewDatabaseWith returns an empty database bound to the given storage
+// engine. The database registers its access-path invalidation as the
+// engine's release hook, so paths built over a relation the engine later
+// evicts from memory are dropped with it.
+func NewDatabaseWith(engine Engine) *Database {
+	db := &Database{
+		engine: engine,
+		paths:  make(map[pathKey]*accesspath.Physical),
+	}
+	engine.SetReleaseHook(db.dropPaths)
+	return db
+}
+
+// EngineName identifies the storage engine backing the database.
+func (db *Database) EngineName() string { return db.engine.EngineName() }
 
 // Declare introduces a variable of the given type, initialized empty.
 func (db *Database) Declare(name string, typ schema.RelationType) error {
@@ -160,16 +173,16 @@ func (db *Database) Declare(name string, typ schema.RelationType) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, dup := db.vars[name]; dup {
+	if _, dup := db.engine.Type(name); dup {
 		return fmt.Errorf("store: variable %q already declared", name)
 	}
 	if err := db.logLocked([]Mutation{{Op: OpDeclare, Name: name, Type: typ}}); err != nil {
 		return err
 	}
-	db.vars[name] = relation.New(typ)
-	db.typs[name] = typ
+	db.engine.Declare(name, typ)
 	// A fresh declaration can change what a cached name resolves to.
-	db.observeReset(name, db.vars[name])
+	rel, _, _ := db.engine.Get(name)
+	db.observeReset(name, rel)
 	return nil
 }
 
@@ -181,12 +194,25 @@ func (db *Database) Declare(name string, typ schema.RelationType) error {
 // committed mutation sequence.
 func (db *Database) logLocked(batch []Mutation) error {
 	if db.logger != nil {
-		if err := db.logger.Append(batch, db.saveLocked); err != nil {
+		if err := db.logger.Append(batch, db.ckptStateLocked); err != nil {
 			return err
 		}
 	}
 	db.notifyLocked(batch)
 	return nil
+}
+
+// ckptStateLocked is the checkpoint-state closure handed to the logger: the
+// engine's native checkpoint format when it has one (the paged engine's
+// dirty-page flush plus manifest), otherwise the logical Save image. Caller
+// holds db.mu. Replication snapshots (Subscribe) deliberately do not come
+// through here — a replica is a memory-engine store and needs the logical
+// image regardless of the primary's engine.
+func (db *Database) ckptStateLocked(w io.Writer) error {
+	if cw, ok := db.engine.(CheckpointWriter); ok {
+		return cw.WriteCheckpoint(w)
+	}
+	return db.saveLocked(w)
 }
 
 // Subscription is one attached consumer of the database's committed-mutation
@@ -299,12 +325,7 @@ func (db *Database) observeReset(name string, next *relation.Relation) {
 func (db *Database) NameOf(rel *relation.Relation) (string, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	for n, r := range db.vars {
-		if r == rel {
-			return n, true
-		}
-	}
-	return "", false
+	return db.engine.Current(rel)
 }
 
 // ReadLocked runs fn with the database read-locked, passing a getter over the
@@ -316,7 +337,7 @@ func (db *Database) ReadLocked(fn func(get func(string) (*relation.Relation, boo
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	fn(func(name string) (*relation.Relation, bool) {
-		r, ok := db.vars[name]
+		r, ok, _ := db.engine.Get(name)
 		return r, ok
 	})
 }
@@ -339,7 +360,7 @@ func (db *Database) SetLogger(l Logger) {
 func (db *Database) AdoptLogger(l Logger) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := l.Checkpoint(db.saveLocked); err != nil {
+	if err := l.Checkpoint(db.ckptStateLocked); err != nil {
 		return err
 	}
 	db.logger = l
@@ -356,15 +377,18 @@ func (db *Database) Checkpoint() error {
 	if db.logger == nil {
 		return nil
 	}
-	return db.logger.Checkpoint(db.saveLocked)
+	return db.logger.Checkpoint(db.ckptStateLocked)
 }
 
 // Get returns the current value of a variable. The returned relation is the
-// live value; callers must not mutate it (use Assign).
+// live value; callers must not mutate it (use Assign). On the paged engine a
+// cold variable is materialized from its pages; an I/O failure there reports
+// as not-found here (the engine records the cause) — paths that must surface
+// the error (Save, Insert) use the engine directly.
 func (db *Database) Get(name string) (*relation.Relation, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	r, ok := db.vars[name]
+	r, ok, _ := db.engine.Get(name)
 	return r, ok
 }
 
@@ -372,18 +396,14 @@ func (db *Database) Get(name string) (*relation.Relation, bool) {
 func (db *Database) Type(name string) (schema.RelationType, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	t, ok := db.typs[name]
-	return t, ok
+	return db.engine.Type(name)
 }
 
 // Names returns the declared variable names, sorted.
 func (db *Database) Names() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.vars))
-	for n := range db.vars {
-		out = append(out, n)
-	}
+	out := db.engine.Names()
 	sort.Strings(out)
 	return out
 }
@@ -448,8 +468,10 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 	if err := db.logLocked([]Mutation{{Op: OpAssign, Name: name, Rel: out}}); err != nil {
 		return err
 	}
-	db.dropPaths(db.vars[name])
-	db.vars[name] = out
+	if old, ok := db.engine.Cached(name); ok {
+		db.dropPaths(old)
+	}
+	db.engine.Publish(name, out)
 	db.observeReset(name, out)
 	return nil
 }
@@ -464,7 +486,10 @@ func (db *Database) Assign(name string, rex *relation.Relation, guards ...Guard)
 func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	r, ok := db.vars[name]
+	r, ok, err := db.engine.Get(name)
+	if err != nil {
+		return fmt.Errorf("store: reading %q: %w", name, err)
+	}
 	if !ok {
 		return fmt.Errorf("store: insert into undeclared variable %q", name)
 	}
@@ -478,7 +503,7 @@ func (db *Database) Insert(name string, tuples ...value.Tuple) error {
 		return err
 	}
 	db.dropPaths(r)
-	db.vars[name] = next
+	db.engine.PublishDelta(name, tuples, next)
 	db.observeGrow(name, tuples, next)
 	return nil
 }
@@ -538,12 +563,8 @@ func (db *Database) Partition(base *relation.Relation, pos int, v value.Value) (
 func (db *Database) published(rel *relation.Relation) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	for _, r := range db.vars {
-		if r == rel {
-			return true
-		}
-	}
-	return false
+	_, ok := db.engine.Current(rel)
+	return ok
 }
 
 // CachedPaths reports the number of materialized physical access paths (for
@@ -577,9 +598,20 @@ func (db *Database) dropPaths(old *relation.Relation) {
 func (db *Database) Snapshot() map[string]*relation.Relation {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make(map[string]*relation.Relation, len(db.vars))
-	for n, r := range db.vars {
-		out[n] = r
+	return db.snapshotLocked()
+}
+
+// snapshotLocked materializes every variable's current value. Caller holds
+// db.mu. A variable whose materialization fails (paged-engine I/O error) is
+// omitted — queries then report it unknown, and the engine records the
+// cause.
+func (db *Database) snapshotLocked() map[string]*relation.Relation {
+	names := db.engine.Names()
+	out := make(map[string]*relation.Relation, len(names))
+	for _, n := range names {
+		if r, ok, err := db.engine.Get(n); err == nil && ok {
+			out[n] = r
+		}
 	}
 	return out
 }
@@ -609,13 +641,9 @@ type Tx struct {
 func (db *Database) Begin() *Tx {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	base := make(map[string]*relation.Relation, len(db.vars))
-	for n, r := range db.vars {
-		base[n] = r
-	}
 	return &Tx{
 		db:          db,
-		base:        base,
+		base:        db.snapshotLocked(),
 		overlay:     make(map[string]*relation.Relation),
 		inserted:    make(map[string][]value.Tuple),
 		overwritten: make(map[string]bool),
@@ -708,17 +736,20 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	for n, r := range tx.overlay {
-		tx.db.dropPaths(tx.db.vars[n])
-		prev := tx.db.vars[n]
-		tx.db.vars[n] = r
+		prev, _ := tx.db.engine.Cached(n)
+		tx.db.dropPaths(prev)
 		// The write is an observable delta only if it is pure insert growth
 		// AND the variable still holds the Begin snapshot: a concurrent
 		// writer between Begin and Commit means r is base+inserts over a
 		// value that is no longer published (last-writer-wins replacement),
-		// so the delta relative to prev is not the insert list.
-		if tups, ok := tx.inserted[n]; ok && !tx.overwritten[n] && tx.base[n] == prev {
+		// so the delta relative to prev is not the insert list. (A paged
+		// engine that evicted the value since Begin misses the comparison
+		// and takes the reset path — correct, just not incremental.)
+		if tups, ok := tx.inserted[n]; ok && !tx.overwritten[n] && prev != nil && tx.base[n] == prev {
+			tx.db.engine.PublishDelta(n, tups, r)
 			tx.db.observeGrow(n, tups, r)
 		} else {
+			tx.db.engine.Publish(n, r)
 			tx.db.observeReset(n, r)
 		}
 	}

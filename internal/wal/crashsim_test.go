@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"syscall"
 	"testing"
 
 	"repro/internal/fsx"
+	"repro/internal/pagestore"
 	"repro/internal/relation"
 	"repro/internal/schema"
 	"repro/internal/store"
@@ -99,16 +101,82 @@ func simOptions(fs fsx.FS) Options {
 	return Options{Sync: SyncAlways, CheckpointEvery: 4, FS: fs}
 }
 
+// simEnv abstracts the storage engine under the sweep: how a (possibly
+// faulted) workload run opens the database and how a fault-free reopen
+// recovers from a surviving image. The workload, oracle, and committed-prefix
+// assertions are engine-independent.
+type simEnv struct {
+	name   string
+	open   func(fs fsx.FS) (*Log, *store.Database, error)
+	reopen func(fs fsx.FS) (*Log, *store.Database, error)
+}
+
+func memSimEnv() simEnv {
+	return simEnv{
+		name: "memory",
+		open: func(fs fsx.FS) (*Log, *store.Database, error) {
+			return Open(simDir, simOptions(fs))
+		},
+		reopen: func(fs fsx.FS) (*Log, *store.Database, error) {
+			return Open(simDir, Options{FS: fs})
+		},
+	}
+}
+
+// pagedSimEnv wires the paged engine exactly as the session layer does:
+// empty-directory recovery starts over blank pages, snapshot generations
+// load as page manifests, and committed checkpoints retire superseded slots.
+// A deliberately tiny pool (2 slots of 128 bytes) forces eviction write-backs
+// mid-workload, so heap-page writes and the incremental checkpoint's flush,
+// heap fsync, and manifest write all appear among the swept fault points.
+// Residency is unlimited: materializations never drop mid-run, keeping the
+// recorded operation sequence identical across every faulted replay.
+func pagedSimEnv() simEnv {
+	pagedOpen := func(fs fsx.FS, walOpts Options) (*Log, *store.Database, error) {
+		pager, err := pagestore.Open(simDir, pagestore.Config{
+			FS: fs, PageSize: 128, PoolPages: 2, ResidentBytes: -1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		walOpts.NewStore = func() (*store.Database, error) {
+			return store.NewDatabaseWith(pager), nil
+		}
+		walOpts.LoadSnapshot = func(r io.Reader) (*store.Database, error) {
+			if err := pager.LoadManifest(r); err != nil {
+				return nil, err
+			}
+			return store.NewDatabaseWith(pager), nil
+		}
+		walOpts.OnCheckpoint = pager.CheckpointCommitted
+		l, db, err := Open(simDir, walOpts)
+		if err != nil {
+			_ = pager.Close()
+			return nil, nil, err
+		}
+		return l, db, nil
+	}
+	return simEnv{
+		name: "paged",
+		open: func(fs fsx.FS) (*Log, *store.Database, error) {
+			return pagedOpen(fs, simOptions(fs))
+		},
+		reopen: func(fs fsx.FS) (*Log, *store.Database, error) {
+			return pagedOpen(fs, Options{FS: fs})
+		},
+	}
+}
+
 // runSim opens a log over fs and drives the workload, mirroring each
 // successful mutation into a shadow store that never touches the filesystem.
 // It returns the shadow (always exactly the committed prefix), the index of
 // the first mutation step that failed (-1 if none), and the log and database
 // (nil if Open itself failed).
-func runSim(t *testing.T, fs fsx.FS, steps []simStep) (shadow *store.Database, firstFailed int, l *Log, db *store.Database, openErr error) {
+func runSim(t *testing.T, env simEnv, fs fsx.FS, steps []simStep) (shadow *store.Database, firstFailed int, l *Log, db *store.Database, openErr error) {
 	t.Helper()
 	shadow = store.NewDatabase()
 	firstFailed = -1
-	l, db, openErr = Open(simDir, simOptions(fs))
+	l, db, openErr = env.open(fs)
 	if openErr != nil {
 		return shadow, firstFailed, nil, nil, openErr
 	}
@@ -129,13 +197,20 @@ func runSim(t *testing.T, fs fsx.FS, steps []simStep) (shadow *store.Database, f
 	return shadow, firstFailed, l, db, nil
 }
 
-// reopenFrom opens the database persisted in a surviving filesystem image
-// with no faults scripted.
+// reopenFrom opens the memory-engine database persisted in a surviving
+// filesystem image with no faults scripted.
 func reopenFrom(t *testing.T, fs fsx.FS) (*Log, *store.Database) {
 	t.Helper()
-	l, db, err := Open(simDir, Options{FS: fs})
+	return envReopen(t, memSimEnv(), fs)
+}
+
+// envReopen recovers from a surviving filesystem image with the given
+// engine and no faults scripted.
+func envReopen(t *testing.T, env simEnv, fs fsx.FS) (*Log, *store.Database) {
+	t.Helper()
+	l, db, err := env.reopen(fs)
 	if err != nil {
-		t.Fatalf("reopen from surviving image: %v", err)
+		t.Fatalf("reopen from surviving image (%s engine): %v", env.name, err)
 	}
 	db.SetLogger(l)
 	return l, db
@@ -143,7 +218,7 @@ func reopenFrom(t *testing.T, fs fsx.FS) (*Log, *store.Database) {
 
 // verifyUsable appends a probe mutation to a recovered database and checks it
 // survives another reopen: recovery must leave the log appendable.
-func verifyUsable(t *testing.T, fs fsx.FS, l *Log, db *store.Database) {
+func verifyUsable(t *testing.T, env simEnv, fs fsx.FS, l *Log, db *store.Database) {
 	t.Helper()
 	if err := db.Declare("Probe", pairType("probe")); err != nil {
 		t.Fatalf("recovered database refuses declarations: %v", err)
@@ -155,7 +230,7 @@ func verifyUsable(t *testing.T, fs fsx.FS, l *Log, db *store.Database) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("closing recovered database: %v", err)
 	}
-	l2, db2 := reopenFrom(t, fs)
+	l2, db2 := envReopen(t, env, fs)
 	defer l2.Close()
 	if got := saveBytes(t, db2); !bytes.Equal(got, want) {
 		t.Fatal("probe mutation after recovery did not survive reopen")
@@ -179,12 +254,26 @@ func matchesAny(got []byte, candidates [][]byte) bool {
 // (for writes) the write is torn short and then the machine crashes — and
 // recovery from the surviving state must yield exactly a committed prefix.
 func TestCrashSimEveryFaultPoint(t *testing.T) {
+	sweepEveryFaultPoint(t, memSimEnv())
+}
+
+// TestCrashSimEveryFaultPointPaged runs the same every-fault-point sweep over
+// the paged storage engine. The recorded operation sequence now includes heap
+// page writes (eviction write-backs and checkpoint flushes), the heap fsync,
+// and the incremental page-manifest write inside each checkpoint — every one
+// of them is failed, crashed, and torn in turn, and recovery must still yield
+// exactly a committed prefix.
+func TestCrashSimEveryFaultPointPaged(t *testing.T) {
+	sweepEveryFaultPoint(t, pagedSimEnv())
+}
+
+func sweepEveryFaultPoint(t *testing.T, env simEnv) {
 	steps := simWorkload()
 
 	// Recording pass: fault-free, enumerates the fault points.
 	mem := fsx.NewMemFS()
 	rec := fsx.NewFaultFS(mem)
-	shadow, firstFailed, l, db, err := runSim(t, rec, steps)
+	shadow, firstFailed, l, db, err := runSim(t, env, rec, steps)
 	if err != nil {
 		t.Fatalf("fault-free open: %v", err)
 	}
@@ -205,19 +294,26 @@ func TestCrashSimEveryFaultPoint(t *testing.T) {
 	if total < 30 {
 		t.Fatalf("suspiciously few fault points recorded: %d", total)
 	}
-	t.Logf("sweeping %d fault points", total)
+	if env.name == "paged" {
+		// The paged sweep must actually cover the new engine's fault points:
+		// heap page writes and the heap fsync that orders them before the
+		// checkpoint manifest. opIndex fails the test if either is absent.
+		opIndex(t, baselineOps, 0, fsx.OpWrite, "pages.heap")
+		opIndex(t, baselineOps, 0, fsx.OpSync, "pages.heap")
+	}
+	t.Logf("sweeping %d fault points (%s engine)", total, env.name)
 
 	t.Run("error", func(t *testing.T) {
 		for k := 0; k < total; k++ {
 			t.Run(fmt.Sprintf("%03d-%s", k, baselineOps[k]), func(t *testing.T) {
-				simulateError(t, steps, k)
+				simulateError(t, env, steps, k)
 			})
 		}
 	})
 	t.Run("crash", func(t *testing.T) {
 		for k := 0; k < total; k++ {
 			t.Run(fmt.Sprintf("%03d-%s", k, baselineOps[k]), func(t *testing.T) {
-				simulateCrash(t, steps, fsx.Fault{Index: k, Crash: true})
+				simulateCrash(t, env, steps, fsx.Fault{Index: k, Crash: true})
 			})
 		}
 	})
@@ -228,7 +324,7 @@ func TestCrashSimEveryFaultPoint(t *testing.T) {
 			}
 			for _, short := range []int{3, 11} { // inside the frame header, inside the payload
 				t.Run(fmt.Sprintf("%03d-short%d-%s", k, short, baselineOps[k]), func(t *testing.T) {
-					simulateCrash(t, steps, fsx.Fault{Index: k, Short: short, Crash: true})
+					simulateCrash(t, env, steps, fsx.Fault{Index: k, Short: short, Crash: true})
 				})
 			}
 		}
@@ -242,11 +338,11 @@ func TestCrashSimEveryFaultPoint(t *testing.T) {
 // possibly extended by the single faulted record, if its frame fully reached
 // the page cache before the error (an fsync failure), but never a partial
 // batch and never more than that one record.
-func simulateError(t *testing.T, steps []simStep, k int) {
+func simulateError(t *testing.T, env simEnv, steps []simStep, k int) {
 	mem := fsx.NewMemFS()
 	ffs := fsx.NewFaultFS(mem)
 	ffs.Inject(fsx.Fault{Index: k})
-	shadow, firstFailed, l, db, openErr := runSim(t, ffs, steps)
+	shadow, firstFailed, l, db, openErr := runSim(t, env, ffs, steps)
 	if l != nil {
 		// Failed commits must not be published in memory either.
 		if got, want := saveBytes(t, db), saveBytes(t, shadow); !bytes.Equal(got, want) {
@@ -276,11 +372,11 @@ func simulateError(t *testing.T, steps []simStep, k int) {
 		expected = append(expected, saveBytes(t, shadow))
 	}
 	img := mem.Image()
-	l2, db2 := reopenFrom(t, img)
+	l2, db2 := envReopen(t, env, img)
 	if got := saveBytes(t, db2); !matchesAny(got, expected) {
 		t.Fatalf("recovered state is neither the committed prefix nor prefix+faulted-record")
 	}
-	verifyUsable(t, img, l2, db2)
+	verifyUsable(t, env, img, l2, db2)
 }
 
 // simulateCrash injects a crash (optionally preceded by a torn write) at
@@ -289,22 +385,22 @@ func simulateError(t *testing.T, steps []simStep, k int) {
 // holds, everything unsynced lost — must be *exactly* the committed prefix.
 // Recovery from the volatile image (the page cache, as after a graceful exit)
 // may additionally hold the single in-flight record.
-func simulateCrash(t *testing.T, steps []simStep, fault fsx.Fault) {
+func simulateCrash(t *testing.T, env simEnv, steps []simStep, fault fsx.Fault) {
 	mem := fsx.NewMemFS()
 	ffs := fsx.NewFaultFS(mem)
 	ffs.Inject(fault)
-	shadow, firstFailed, l, _, _ := runSim(t, ffs, steps)
+	shadow, firstFailed, l, _, _ := runSim(t, env, ffs, steps)
 	if l != nil {
 		_ = l.Close() // fails after the crash; the images below are what count
 	}
 
 	committed := saveBytes(t, shadow)
 	crash := mem.CrashImage()
-	l2, db2 := reopenFrom(t, crash)
+	l2, db2 := envReopen(t, env, crash)
 	if got := saveBytes(t, db2); !bytes.Equal(got, committed) {
 		t.Fatalf("crash image did not recover exactly the committed prefix")
 	}
-	verifyUsable(t, crash, l2, db2)
+	verifyUsable(t, env, crash, l2, db2)
 
 	expected := [][]byte{committed}
 	if firstFailed >= 0 {
@@ -314,7 +410,7 @@ func simulateCrash(t *testing.T, steps []simStep, fault fsx.Fault) {
 		expected = append(expected, saveBytes(t, shadow))
 	}
 	img := mem.Image()
-	l3, db3 := reopenFrom(t, img)
+	l3, db3 := envReopen(t, env, img)
 	defer l3.Close()
 	if got := saveBytes(t, db3); !matchesAny(got, expected) {
 		t.Fatalf("volatile image recovered neither the committed prefix nor prefix+in-flight record")

@@ -124,6 +124,22 @@ type Options struct {
 	// FS is the filesystem the log runs over; nil means the real one
 	// (fsx.OsFS). Tests inject fault-scripted filesystems here.
 	FS fsx.FS
+	// NewStore constructs the store recovery starts from when the directory
+	// holds no snapshot; nil means an empty memory-engine store. A paged
+	// session supplies a constructor over its page engine here.
+	NewStore func() (*store.Database, error)
+	// LoadSnapshot loads the newest snapshot checkpoint into a store; nil
+	// means store.Load (the memory engine's logical image). The paged
+	// session supplies its manifest loader here.
+	LoadSnapshot func(r io.Reader) (*store.Database, error)
+	// OnCheckpoint, when set, runs after a checkpoint commits — the snapshot
+	// rename is durable and the superseded generation is gone — with the new
+	// generation number. The paged engine uses it to retire superseded page
+	// slots: before this fires, a crash may still recover from the previous
+	// manifest, so the slots it references must not be reused. It is called
+	// with the log's lock (and the store's lock) held and must not call back
+	// into either.
+	OnCheckpoint func(gen uint64)
 }
 
 // ErrClosed is returned by operations on a closed log.
@@ -200,6 +216,8 @@ type Log struct {
 	n      int   // records in the current log tail
 	off    int64 // current end offset of the log file
 	closed bool
+	// onCheckpoint is Options.OnCheckpoint (see there).
+	onCheckpoint func(gen uint64)
 	// err is the sticky poison: the first unrecoverable I/O failure. Once
 	// set, appends, syncs, and checkpoints are refused and Close reports it.
 	err error
@@ -237,12 +255,13 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 	}
 
 	l := &Log{
-		dir:     dir,
-		fs:      fs,
-		sync:    opts.Sync,
-		every:   opts.CheckpointEvery,
-		retries: opts.CheckpointRetries,
-		backoff: opts.CheckpointBackoff,
+		dir:          dir,
+		fs:           fs,
+		sync:         opts.Sync,
+		every:        opts.CheckpointEvery,
+		retries:      opts.CheckpointRetries,
+		backoff:      opts.CheckpointBackoff,
+		onCheckpoint: opts.OnCheckpoint,
 	}
 	if l.every == 0 {
 		l.every = DefaultCheckpointEvery
@@ -258,7 +277,7 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 	var gen uint64
 	if len(snaps) > 0 {
 		gen = snaps[len(snaps)-1]
-		d, err := loadSnapshot(fs, snapPath(dir, gen))
+		d, err := loadSnapshot(fs, snapPath(dir, gen), opts.LoadSnapshot)
 		if err != nil {
 			return nil, nil, &CorruptSnapshotError{Path: snapPath(dir, gen), Err: err}
 		}
@@ -266,7 +285,14 @@ func Open(dir string, opts Options) (*Log, *store.Database, error) {
 	} else {
 		// No snapshot at all: the initial generation. An existing wal-g
 		// belongs to it (no checkpoint ever completed); otherwise start at 1.
-		db = store.NewDatabase()
+		if opts.NewStore != nil {
+			db, err = opts.NewStore()
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			db = store.NewDatabase()
+		}
 		gen = 1
 		if len(logs) > 0 {
 			gen = logs[0]
@@ -351,12 +377,15 @@ func scan(fs fsx.FS, dir string) (snaps, logs []uint64, err error) {
 	return snaps, logs, nil
 }
 
-func loadSnapshot(fs fsx.FS, path string) (*store.Database, error) {
+func loadSnapshot(fs fsx.FS, path string, load func(io.Reader) (*store.Database, error)) (*store.Database, error) {
+	if load == nil {
+		load = store.Load
+	}
 	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
-	db, err := store.Load(f)
+	db, err := load(f)
 	if cerr := f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
@@ -794,6 +823,11 @@ func (l *Log) rotateLocked(state func(io.Writer) error) error {
 	l.rotateAt = l.every
 	_ = l.fs.Remove(logPath(l.dir, old))
 	_ = l.fs.Remove(snapPath(l.dir, old))
+	// The checkpoint is committed and the old generation gone: let the
+	// storage engine retire what the superseded snapshot referenced.
+	if l.onCheckpoint != nil {
+		l.onCheckpoint(next)
+	}
 	return nil
 }
 

@@ -24,6 +24,23 @@ const (
 	SyncNever = wal.SyncNever
 )
 
+// EngineKind selects the storage engine of a database (WithEngine).
+type EngineKind int
+
+const (
+	// EngineMemory keeps every relation variable fully materialized in
+	// memory (the default). Durable sessions persist the logical image:
+	// snapshot checkpoints rewrite the whole database.
+	EngineMemory EngineKind = iota
+	// EnginePaged stores relation tuples in fixed-size heap pages in a
+	// single heap file, caches resident pages in a bounded buffer pool, and
+	// checkpoints incrementally: only pages dirtied since the last
+	// checkpoint are written, and the snapshot the write-ahead log rotates
+	// in is a small page manifest instead of a full image. Requires
+	// WithPath; the working set, not the database, must fit in memory.
+	EnginePaged
+)
+
 // config collects the Open-time settings.
 type config struct {
 	mode          Mode
@@ -58,6 +75,11 @@ type config struct {
 	// matviews is the materialized-view cache capacity; 0 disables
 	// materialization entirely (every read refixpoints from scratch).
 	matviews int
+	// engine selects the storage engine (WithEngine); EngineMemory unless
+	// overridden. poolPages is the paged engine's buffer-pool budget in
+	// pages (WithBufferPoolPages); 0 means the engine default.
+	engine    EngineKind
+	poolPages int
 }
 
 // DefaultPlanCacheSize is the LRU plan-cache capacity used when Open is not
@@ -167,6 +189,27 @@ func WithCheckpointRetry(n int, backoff time.Duration) Option {
 		c.ckptRetries = n
 		c.ckptBackoff = backoff
 	}
+}
+
+// WithEngine selects the storage engine. The default, EngineMemory, keeps
+// every relation fully materialized and is valid with or without WithPath.
+// EnginePaged pages relation tuples through a bounded buffer pool over a
+// heap file and checkpoints incrementally; it requires WithPath (the pages
+// are the primary copy) and Open fails without it. A database directory is
+// bound to the engine that created it: opening a paged directory with the
+// memory engine (or vice versa) fails with a pointed error rather than
+// misreading the snapshot.
+func WithEngine(k EngineKind) Option {
+	return func(c *config) { c.engine = k }
+}
+
+// WithBufferPoolPages sets the paged engine's buffer-pool budget in pages
+// (pagestore.DefaultPoolPages when omitted; 4 KiB pages). The pool bounds
+// the page frames resident in memory, not the database: relations larger
+// than the pool spill and fault pages back in on demand. It has no effect
+// with EngineMemory.
+func WithBufferPoolPages(n int) Option {
+	return func(c *config) { c.poolPages = n }
 }
 
 // withFS runs the durability stack over an alternative filesystem. Test-only:

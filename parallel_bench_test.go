@@ -54,7 +54,9 @@ func recordBench(b *testing.B, tuples, rows int) {
 // TestMain writes the benchmark artifacts after a run that executed any
 // benchmarks; plain test runs leave no artifact behind. Rows are partitioned
 // by benchmark family: the incremental-maintenance measurements land in
-// BENCH_incremental.json, everything else in BENCH_parallel.json.
+// BENCH_incremental.json, the storage-engine measurements (their own row
+// shape, with pool and checkpoint counters) in BENCH_storage.json, and
+// everything else in BENCH_parallel.json.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchMu.Lock()
@@ -70,14 +72,26 @@ func TestMain(m *testing.M) {
 			files[name] = append(files[name], r)
 		}
 		for name, part := range files {
-			if raw, err := json.MarshalIndent(part, "", "  "); err == nil {
-				if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, name+":", err)
-				}
-			}
+			writeBenchArtifact(name, part)
 		}
 	}
+	storageBenchMu.Lock()
+	srows := storageBenchRows
+	storageBenchMu.Unlock()
+	if code == 0 && len(srows) > 0 {
+		writeBenchArtifact("BENCH_storage.json", srows)
+	}
 	os.Exit(code)
+}
+
+func writeBenchArtifact(name string, rows any) {
+	raw, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(name, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, name+":", err)
+	}
 }
 
 // BenchmarkParallelJoin measures the partitioned hash self-join over chain

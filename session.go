@@ -12,6 +12,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/matview"
 	"repro/internal/optimizer"
+	"repro/internal/pagestore"
 	"repro/internal/parser"
 	"repro/internal/relation"
 	"repro/internal/schema"
@@ -85,6 +86,12 @@ type DB struct {
 	// commits — logs through it before publishing.
 	wal *wal.Log
 
+	// pager is the paged storage engine backing the store when Open was
+	// given WithEngine(EnginePaged); nil on the memory engine. The store
+	// owns its use; the session keeps the handle for Health stats, the
+	// LoadStore guard, and Close.
+	pager *pagestore.Engine
+
 	// views is the materialized derived-relation cache (WithMaterialization;
 	// on by default), registered as the store's commit observer so committed
 	// deltas maintain cached fixpoints incrementally. nil when disabled; the
@@ -129,15 +136,46 @@ func Open(opts ...Option) (*DB, error) {
 	env.Parallelism = cfg.parallelism
 	env.ParallelMinRows = cfg.parallelMinRows
 	d.Store.SetParallelism(cfg.parallelism)
+	if cfg.engine == EnginePaged && cfg.path == "" {
+		return nil, fmt.Errorf("dbpl: the paged storage engine requires WithPath (the heap file is the primary copy)")
+	}
 	if cfg.path != "" {
-		wlog, st, err := wal.Open(cfg.path, wal.Options{
+		walOpts := wal.Options{
 			Sync:              cfg.syncPolicy,
 			CheckpointEvery:   cfg.checkpointEvery,
 			CheckpointRetries: cfg.ckptRetries,
 			CheckpointBackoff: cfg.ckptBackoff,
 			FS:                cfg.fs,
-		})
+		}
+		if cfg.engine == EnginePaged {
+			pager, err := pagestore.Open(cfg.path, pagestore.Config{
+				FS:        cfg.fs,
+				PoolPages: cfg.poolPages,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("dbpl: opening paged storage at %s: %w", cfg.path, err)
+			}
+			d.pager = pager
+			// Recovery builds the store over the page engine: an empty
+			// directory starts from blank pages, a snapshot generation loads
+			// as a page manifest (contents stay on disk and fault in on
+			// demand), and a committed checkpoint retires superseded slots.
+			walOpts.NewStore = func() (*store.Database, error) {
+				return store.NewDatabaseWith(pager), nil
+			}
+			walOpts.LoadSnapshot = func(r io.Reader) (*store.Database, error) {
+				if err := pager.LoadManifest(r); err != nil {
+					return nil, err
+				}
+				return store.NewDatabaseWith(pager), nil
+			}
+			walOpts.OnCheckpoint = pager.CheckpointCommitted
+		}
+		wlog, st, err := wal.Open(cfg.path, walOpts)
 		if err != nil {
+			if d.pager != nil {
+				_ = d.pager.Close()
+			}
 			return nil, fmt.Errorf("dbpl: opening durable store at %s: %w", cfg.path, err)
 		}
 		d.Store = st
@@ -158,6 +196,9 @@ func Open(opts ...Option) (*DB, error) {
 	fail := func(err error) (*DB, error) {
 		if d.wal != nil {
 			d.wal.Close()
+		}
+		if d.pager != nil {
+			_ = d.pager.Close()
 		}
 		return nil, err
 	}
@@ -288,7 +329,15 @@ func (d *DB) OpenRows() int {
 // never reached) leaves the previous generation intact and the log
 // appendable; it is retried automatically per WithCheckpointRetry before the
 // error is returned, and remains safe to retry by calling Checkpoint again.
+// On a database already degraded to read-only, Checkpoint fails fast with
+// the same *DegradedError contract as every other refused write — it does
+// not touch the poisoned log.
 func (d *DB) Checkpoint() error {
+	if d.wal != nil {
+		if cause := d.wal.Err(); cause != nil {
+			return &DegradedError{Cause: cause}
+		}
+	}
 	return wrapErr(d.noteMutErr(d.store().Checkpoint()))
 }
 
@@ -312,6 +361,45 @@ type Health struct {
 	// MatViews reports the materialized derived-relation cache: entry count,
 	// read outcomes, and maintenance backlog.
 	MatViews MatViewStats
+	// Storage reports the paged storage engine's buffer pool and checkpoint
+	// counters; zero-valued (Enabled false) on the memory engine.
+	Storage StorageStats
+}
+
+// StorageStats is the paged-storage section of a health report.
+type StorageStats struct {
+	// Enabled reports whether this database runs on the paged engine
+	// (WithEngine(EnginePaged)).
+	Enabled bool
+	// PoolPages is the buffer-pool budget in page slots; PoolUsed is the
+	// resident footprint, which exceeds the budget only while nothing is
+	// evictable (Overflows counts those episodes).
+	PoolPages, PoolUsed int
+	// Hits and Misses count page accesses served from the pool versus
+	// faulted in from the heap file; Evictions and WriteBacks count frames
+	// detached and dirty frames flushed by eviction or checkpoint.
+	Hits, Misses, Evictions, WriteBacks, Overflows uint64
+	// DirtyPages is the number of resident pages awaiting write-back — the
+	// incremental cost of the next checkpoint.
+	DirtyPages int
+	// HeapSlots is the heap file's allocated size in page slots.
+	HeapSlots int64
+	// LastCheckpointPages and LastCheckpointBytes are the pages flushed and
+	// total bytes (pages plus manifest) written by the latest checkpoint.
+	LastCheckpointPages, LastCheckpointBytes uint64
+	// Err is the most recent page I/O failure; unlike a poisoned log it is
+	// informational — the engine keeps serving from memory and retries.
+	Err error
+}
+
+// HitRate is the fraction of page accesses served from the buffer pool, in
+// [0, 1]; 0 before any access.
+func (s StorageStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // MatViewStats is the materialized-view section of a health report.
@@ -363,6 +451,10 @@ func (h Health) String() string {
 		s += fmt.Sprintf(" matview entries=%d hit-rate=%.0f%% backlog=%d",
 			h.MatViews.Entries, 100*h.MatViews.HitRate(), h.MatViews.Backlog)
 	}
+	if h.Storage.Enabled {
+		s += fmt.Sprintf(" storage pool=%d/%d hit-rate=%.0f%% dirty=%d",
+			h.Storage.PoolUsed, h.Storage.PoolPages, 100*h.Storage.HitRate(), h.Storage.DirtyPages)
+	}
 	return s
 }
 
@@ -382,6 +474,24 @@ func (d *DB) Health() Health {
 			Maintained:    s.Maintained,
 			Invalidations: s.Invalidations,
 			Backlog:       s.Backlog,
+		}
+	}
+	if d.pager != nil {
+		st := d.pager.Stats()
+		h.Storage = StorageStats{
+			Enabled:             true,
+			PoolPages:           st.PoolPages,
+			PoolUsed:            st.PoolUsed,
+			Hits:                st.Hits,
+			Misses:              st.Misses,
+			Evictions:           st.Evictions,
+			WriteBacks:          st.WriteBacks,
+			Overflows:           st.Overflows,
+			DirtyPages:          st.DirtyPages,
+			HeapSlots:           st.HeapSlots,
+			LastCheckpointPages: st.LastCheckpointPages,
+			LastCheckpointBytes: st.LastCheckpointBytes,
+			Err:                 st.LastErr,
 		}
 	}
 	if d.wal == nil {
@@ -427,7 +537,16 @@ func (d *DB) Close() error {
 	if d.wal == nil {
 		return nil
 	}
-	return d.noteMutErr(d.wal.Close())
+	err := d.noteMutErr(d.wal.Close())
+	if d.pager != nil {
+		// The heap file needs no flush of its own: every committed mutation
+		// is in the log, and dirty pages re-flush at the next checkpoint
+		// after reopen.
+		if cerr := d.pager.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // ExecToContext compiles and runs a DBPL module with streaming SHOW output
@@ -646,6 +765,12 @@ func toValue(a any) (Value, error) {
 // r (declarations executed via Exec are kept). Relations that existed only
 // in the replaced store stop resolving in queries.
 func (d *DB) LoadStore(r io.Reader) error {
+	if d.pager != nil {
+		// A Save-format image loads into a memory-engine store; swapping it
+		// in would strand the page engine and write a memory snapshot into a
+		// paged directory. Import through a memory session instead.
+		return fmt.Errorf("dbpl: LoadStore is not supported on the paged storage engine (open a memory-engine session and re-insert, or replay the source modules)")
+	}
 	db, err := store.Load(r)
 	if err != nil {
 		return err

@@ -1,0 +1,394 @@
+package dbpl
+
+// Storage-engine split coverage at the session layer: the same workload on
+// the memory and paged engines, recovery cycles on databases larger than the
+// buffer pool, cross-engine directory detection, degraded-mode Checkpoint
+// fast-fail, and -race streaming reads under eviction pressure.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fsx"
+)
+
+const storageSchema = `
+MODULE wh;
+TYPE sku      = STRING;
+TYPE stockrel = RELATION OF RECORD item, loc: sku END;
+TYPE linkrel  = RELATION OF RECORD a, b: sku END;
+VAR Stock: stockrel;
+VAR Links: linkrel;
+
+SELECTOR at (Where: sku) FOR Rel: stockrel;
+BEGIN EACH r IN Rel: r.loc = Where END at;
+
+CONSTRUCTOR reach FOR Rel: linkrel (): linkrel;
+BEGIN
+  EACH r IN Rel: TRUE,
+  <f.a, b.b> OF EACH f IN Rel, EACH b IN Rel{reach}: f.b = b.a
+END reach;
+END wh.
+`
+
+// storageEngines enumerates the two engines with equivalent option sets; the
+// paged variant runs with a deliberately tiny pool so ordinary test
+// workloads exceed it.
+var storageEngines = []struct {
+	name string
+	opts []Option
+}{
+	{"memory", nil},
+	{"paged", []Option{WithEngine(EnginePaged), WithBufferPoolPages(4)}},
+}
+
+func openStorageDB(t testing.TB, fs fsx.FS, extra ...Option) *DB {
+	t.Helper()
+	opts := append([]Option{WithPath("db"), withFS(fs), WithSync(SyncAlways)}, extra...)
+	db, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func stockTuple(i int) Tuple {
+	return NewTuple(Str(fmt.Sprintf("item-%05d", i)), Str(fmt.Sprintf("loc-%03d", i%7)))
+}
+
+// queryLen evaluates a query and returns the result cardinality.
+func queryLen(t testing.TB, db *DB, q string) int {
+	t.Helper()
+	rel, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	return rel.Len()
+}
+
+// TestStorageEnginesWorkload runs one workload — module DDL, single inserts,
+// a Tx batch, selector and recursive constructor queries, an explicit
+// checkpoint, post-checkpoint writes — on each engine, and verifies a
+// close/reopen recovers the identical logical state.
+func TestStorageEnginesWorkload(t *testing.T) {
+	for _, eng := range storageEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			fs := fsx.NewMemFS()
+			ctx := context.Background()
+			db := openStorageDB(t, fs, eng.opts...)
+			if _, err := db.Exec(storageSchema); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				if err := db.Insert("Stock", stockTuple(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tx, err := db.Begin(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 40; i < 80; i++ {
+				if err := tx.Insert("Stock", stockTuple(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Insert("Links", NewTuple(Str("a"), Str("b"))); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Insert("Links", NewTuple(Str("b"), Str("c"))); err != nil {
+				t.Fatal(err)
+			}
+
+			reach := queryLen(t, db, `Links{reach}`)
+			if reach != 3 { // a→b, b→c, a→c
+				t.Fatalf("reach: got %d tuples, want 3", reach)
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			// Writes after the checkpoint land in the fresh log tail.
+			for i := 80; i < 100; i++ {
+				if err := db.Insert("Stock", stockTuple(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			atLoc := queryLen(t, db, `Stock[at("loc-001")]`)
+			want := saveFaultState(t, db)
+			if h := db.Health(); eng.name == "paged" {
+				if !h.Storage.Enabled {
+					t.Error("paged session must report storage stats")
+				}
+				if !strings.Contains(h.String(), "storage pool=") {
+					t.Errorf("health string missing storage segment: %s", h)
+				}
+			} else if db.Health().Storage.Enabled {
+				t.Error("memory session must not report paged storage stats")
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			db2 := openStorageDB(t, fs, eng.opts...)
+			defer db2.Close()
+			if got := saveFaultState(t, db2); string(got) != string(want) {
+				t.Fatal("recovered state differs from the state at close")
+			}
+			if _, err := db2.Exec(storageSchema); err != nil {
+				t.Fatal(err)
+			}
+			if got := queryLen(t, db2, `Stock[at("loc-001")]`); got != atLoc {
+				t.Fatalf("selector after reopen: got %d, want %d", got, atLoc)
+			}
+			if got := queryLen(t, db2, `Links{reach}`); got != reach {
+				t.Fatalf("constructor after reopen: got %d, want %d", got, reach)
+			}
+		})
+	}
+}
+
+// TestStoragePagedRequiresPath: the heap file is the paged engine's primary
+// copy, so a memory-only paged session is refused at Open.
+func TestStoragePagedRequiresPath(t *testing.T) {
+	if _, err := Open(WithEngine(EnginePaged)); err == nil || !strings.Contains(err.Error(), "WithPath") {
+		t.Fatalf("paged engine without WithPath: got %v, want a pointed error", err)
+	}
+}
+
+// TestStorageMixedEngineDir: a directory checkpointed by one engine refuses
+// to open under the other with an error naming the mismatch, instead of
+// misreading the snapshot.
+func TestStorageMixedEngineDir(t *testing.T) {
+	t.Run("memory-dir-on-paged", func(t *testing.T) {
+		fs := fsx.NewMemFS()
+		db := openStorageDB(t, fs)
+		if err := db.Declare("R", faultPairType()); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("R", pair("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(WithPath("db"), withFS(fs), WithEngine(EnginePaged))
+		if err == nil || !strings.Contains(err.Error(), "memory engine") {
+			t.Fatalf("paged open of a memory directory: got %v, want pointed mismatch error", err)
+		}
+	})
+	t.Run("paged-dir-on-memory", func(t *testing.T) {
+		fs := fsx.NewMemFS()
+		db := openStorageDB(t, fs, WithEngine(EnginePaged))
+		if err := db.Declare("R", faultPairType()); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("R", pair("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(WithPath("db"), withFS(fs))
+		if err == nil || !strings.Contains(err.Error(), "paged engine") {
+			t.Fatalf("memory open of a paged directory: got %v, want pointed mismatch error", err)
+		}
+	})
+}
+
+// TestStorageBiggerThanPoolCycle is the acceptance cycle: a database whose
+// heap exceeds the buffer pool completes insert, selector-query, checkpoint,
+// and recovery rounds, and the pool actually evicted along the way.
+func TestStorageBiggerThanPoolCycle(t *testing.T) {
+	fs := fsx.NewMemFS()
+	ctx := context.Background()
+	db := openStorageDB(t, fs, WithEngine(EnginePaged), WithBufferPoolPages(4))
+	if _, err := db.Exec(storageSchema); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for lo := 0; lo < n; lo += 500 {
+		tx, err := db.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := lo; i < lo+500; i++ {
+			if err := tx.Insert("Stock", stockTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := queryLen(t, db, `Stock[at("loc-003")]`); got != n/7+1 {
+		t.Fatalf("selector over spilled relation: got %d, want %d", got, n/7+1)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	h := db.Health()
+	if h.Storage.HeapSlots <= int64(h.Storage.PoolPages) {
+		t.Fatalf("workload fits the pool (%d slots, pool %d): not the scenario under test",
+			h.Storage.HeapSlots, h.Storage.PoolPages)
+	}
+	if h.Storage.Evictions == 0 {
+		t.Errorf("no pool evictions on a bigger-than-pool workload: %+v", h.Storage)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openStorageDB(t, fs, WithEngine(EnginePaged), WithBufferPoolPages(4))
+	defer db2.Close()
+	if _, err := db2.Exec(storageSchema); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryLen(t, db2, `Stock[at("loc-003")]`); got != n/7+1 {
+		t.Fatalf("selector after recovery: got %d, want %d", got, n/7+1)
+	}
+	if err := db2.Insert("Stock", stockTuple(n)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after recovery: %v", err)
+	}
+}
+
+// TestStorageDegradedCheckpointFailsFast (regression): Checkpoint on a
+// degraded session reports the standard *DegradedError contract without
+// touching the poisoned log — no filesystem operations at all.
+func TestStorageDegradedCheckpointFailsFast(t *testing.T) {
+	k := faultIndexAfterSeed(t, fsx.OpSync, "wal-", func(db *DB) {
+		if err := db.Insert("R", pair("c", "d")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ffs := fsx.NewFaultFS(fsx.NewMemFS())
+	ffs.Inject(fsx.Fault{Index: k})
+	db := openFaultDB(t, ffs)
+	defer db.Close()
+	seedFaultDB(t, db)
+	if err := db.Insert("R", pair("c", "d")); err == nil {
+		t.Fatal("insert over failed fsync reported success")
+	}
+	ops := ffs.OpCount()
+	err := db.Checkpoint()
+	if err == nil {
+		t.Fatal("Checkpoint on a degraded session reported success")
+	}
+	var de *DegradedError
+	if !errors.As(err, &de) || !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("degraded Checkpoint: got %v, want *DegradedError matching ErrReadOnly", err)
+	}
+	if got := ffs.OpCount(); got != ops {
+		t.Errorf("degraded Checkpoint performed %d filesystem operations; must fail fast with none", got-ops)
+	}
+}
+
+// TestStorageRowsStreamUnderEvictionPressure holds Rows cursors open across
+// an in-flight stream while a writer forces buffer-pool and residency
+// eviction; run under -race. Streams must observe their snapshot unharmed
+// and the session must not leak goroutines.
+func TestStorageRowsStreamUnderEvictionPressure(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		fs := fsx.NewMemFS()
+		ctx := context.Background()
+		db := openStorageDB(t, fs, WithEngine(EnginePaged), WithBufferPoolPages(2))
+		defer db.Close()
+		if _, err := db.Exec(storageSchema); err != nil {
+			t.Fatal(err)
+		}
+		tx, err := db.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const base = 600
+		for i := 0; i < base; i++ {
+			if err := tx.Insert("Stock", stockTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		errc := make(chan error, 8)
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rows, err := db.QueryContext(ctx, `{EACH s IN Stock: TRUE}`)
+					if err != nil {
+						errc <- fmt.Errorf("query: %w", err)
+						return
+					}
+					n := 0
+					for rows.Next() {
+						_ = rows.Tuple()
+						n++
+					}
+					if err := rows.Err(); err != nil {
+						errc <- fmt.Errorf("stream: %w", err)
+						return
+					}
+					_ = rows.Close()
+					if n < base {
+						errc <- fmt.Errorf("stream saw %d rows, committed floor is %d", n, base)
+						return
+					}
+				}
+			}()
+		}
+		// Writer: append through the tiny pool, checkpointing periodically so
+		// eviction, write-back, and slot retirement all run under the streams.
+		for i := base; i < base+400; i++ {
+			if err := db.Insert("Stock", stockTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+			if i%100 == 0 {
+				if err := db.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		default:
+		}
+	}()
+	// Goroutine-leak check: allow the runtime a few beats to retire workers.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+}
